@@ -1,0 +1,26 @@
+//! Ablations beyond the paper: staging x fill matrix and SCAP-threshold
+//! sensitivity (the trade-off §2.2 discusses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::ablation;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let rows = ablation::staged_fill_matrix(study);
+    println!("\n{}", ablation::render_matrix(&rows));
+    let conv = scap_bench::conventional();
+    let sweep = ablation::threshold_sensitivity(study, conv, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+    println!("threshold sensitivity (factor -> conventional patterns above):");
+    for (f, above) in &sweep {
+        println!("  x{f:<5} {above}");
+    }
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("threshold_sweep", |b| {
+        b.iter(|| ablation::threshold_sensitivity(study, conv, &[0.5, 1.0, 2.0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 3: dynamic IR-drop maps of a hot pattern (P1) and a
+//! near-threshold pattern (P2) — printed once, then benches map solving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::experiments;
+use scap::PatternAnalyzer;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let conv = scap_bench::conventional();
+    let f3 = experiments::fig3(study, conv);
+    println!("\n{}", experiments::render_fig3(study, &f3));
+    println!("paper: P1 worst 0.28 V vs P2 worst 0.19 V on the 1.8 V VDD net");
+    let analyzer = PatternAnalyzer::new(study);
+    let p1 = conv.patterns.filled[f3.p1_index].clone();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(20);
+    g.bench_function("pattern_irdrop_map", |b| b.iter(|| analyzer.ir_drop(&p1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

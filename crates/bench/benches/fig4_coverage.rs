@@ -1,0 +1,23 @@
+//! Figure 4: coverage curves of the conventional vs noise-aware flows —
+//! printed once, then benches pattern grading (fault simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::{experiments, grade_patterns};
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let conv = scap_bench::conventional();
+    let na = scap_bench::noise_aware();
+    println!("\n{}", experiments::render_fig4(conv, na));
+    println!("paper: same final coverage, +644 patterns (~11 %) for the new procedure");
+    let n = &study.design.netlist;
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("grade_pattern_set", |b| {
+        b.iter(|| grade_patterns(n, study.clka(), &conv.faults, &conv.patterns))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5: the SCAP calculator flow. The paper's figure is an
+//! architecture diagram (VCS + PLI + SPEF capacitances); here the
+//! equivalent pipeline is the event-driven trace feeding the calculator.
+//! Prints the flow once, then benches the calculator kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::power::ScapCalculator;
+use scap::PatternAnalyzer;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let conv = scap_bench::conventional();
+    println!("\nFigure 5 pipeline: netlist + placement -> DelayAnnotation (C_i per net)");
+    println!("  -> EventSim toggle trace (the VCD-less PLI)  -> ScapCalculator per-pattern power");
+    let analyzer = PatternAnalyzer::new(study);
+    let trace = analyzer.trace(&conv.patterns.filled[0]);
+    println!(
+        "  example: {} toggles, STW {:.2} ns",
+        trace.num_toggles(),
+        trace.stw_ps() / 1000.0
+    );
+    let calc = ScapCalculator::new(&study.design.netlist, &study.annotation, study.period_ps());
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(20);
+    g.bench_function("scap_calculator_measure", |b| b.iter(|| calc.measure(&trace)));
+    g.bench_function("event_sim_trace", |b| {
+        b.iter(|| analyzer.trace(&conv.patterns.filled[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

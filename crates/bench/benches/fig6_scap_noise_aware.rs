@@ -1,0 +1,38 @@
+//! Figure 6: per-pattern SCAP of the noise-aware set in B5 — printed
+//! once, then benches a staged generation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::experiments;
+use scap::sim::FaultList;
+use scap::tgen::{AtpgConfig, Generator};
+use scap::dft::FillPolicy;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let na = scap_bench::noise_aware();
+    let f6 = experiments::fig6(study, na);
+    println!("\n{}", experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &f6));
+    for (label, start) in &na.steps {
+        println!("  {label}: starts at pattern {start}");
+    }
+    println!("paper: flat-low prefix, late B5 spike, 57 of 6490 (0.9 %) above threshold");
+    // Kernel: one per-block ATPG step (B6 alone) under fill-0.
+    let n = &study.design.netlist;
+    let b6 = study.design.block_named("B6").expect("B6 exists");
+    let faults = FaultList::for_blocks(n, &[b6]);
+    let config = AtpgConfig {
+        fill: FillPolicy::Zero,
+        max_patterns: 16,
+        ..AtpgConfig::default()
+    };
+    let generator = Generator::new(n, study.clka(), config);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("staged_atpg_step_b6_16_patterns", |b| {
+        b.iter(|| generator.run(&faults))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

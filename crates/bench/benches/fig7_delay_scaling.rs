@@ -1,0 +1,25 @@
+//! Figure 7: endpoint delays with and without IR-drop-scaled cell delays
+//! — printed once, then benches the scaled re-simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::experiments;
+use scap::PatternAnalyzer;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let na = scap_bench::noise_aware();
+    let f7 = experiments::fig7(study, na);
+    println!("\n{}", experiments::render_fig7(&f7));
+    println!("paper: Region 1 endpoints slow by up to 30 %; Region 2 endpoints appear faster");
+    let analyzer = PatternAnalyzer::new(study);
+    let pattern = na.patterns.filled[f7.pattern_index].clone();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(20);
+    g.bench_function("scaled_endpoint_resimulation", |b| {
+        b.iter(|| analyzer.endpoint_delays_scaled(&pattern))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 1: design characteristics — printed once, then benches SOC
+//! generation + reporting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::experiments;
+use scap::soc::{DesignReport, SocConfig, SocDesign};
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let report = experiments::table1(study);
+    println!("\n{}", experiments::render_table1(&report));
+    println!(
+        "paper: 6 domains, 16 chains, 22973 flops, 22 neg-edge, 461449 faults (scale {})",
+        scap_bench::bench_scale()
+    );
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("generate_soc", |b| {
+        b.iter(|| SocDesign::generate(&SocConfig::turbo_eagle(0.004)))
+    });
+    g.bench_function("design_report", |b| {
+        b.iter(|| DesignReport::build(&study.design))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 2: clock-domain analysis — printed once, then benches the
+//! per-domain breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::experiments;
+use scap::netlist::ClockId;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let report = experiments::table1(study);
+    println!("\n{}", experiments::render_table2(&report));
+    println!("paper: clka dominant (~18K flops, covers B1-B6); clkb-clkf block-local");
+    let n = &study.design.netlist;
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("count_domain_flops", |b| {
+        b.iter(|| {
+            (0..n.clocks().len())
+                .map(|i| n.flops_in_clock(ClockId::new(i as u32)).count())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 3: statistical IR-drop per block, full- vs half-cycle window —
+//! printed once, then benches the vector-less grid solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scap::experiments;
+use scap::power::StatisticalAnalysis;
+
+fn bench(c: &mut Criterion) {
+    let study = scap_bench::study();
+    let t3 = experiments::table3(study);
+    println!("\n{}", experiments::render_table3(study, &t3));
+    println!("paper shape: Case2 power = 2x Case1 per block; B5 dominates power and drop");
+    let stat = StatisticalAnalysis::new(&study.design.netlist, &study.design.floorplan, study.grid);
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(20);
+    g.bench_function("statistical_analysis_half_cycle", |b| {
+        b.iter(|| stat.run(&study.annotation, 0.30, study.period_ps() / 2.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! One-shot regeneration of the paper's full evaluation.
+//!
+//! ```text
+//! cargo run --release -p scap-bench --bin evaluation [scale]
+//! ```
+//!
+//! Prints every table and figure of the DAC'07 paper at the requested
+//! design scale (default 0.02 ≈ 460 flops; the paper's chip is scale 1.0).
+//! The output of this binary is the source of `EXPERIMENTS.md`.
+
+use scap::{ablation, experiments, flows, CaseStudy, PatternAnalyzer};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let t0 = std::time::Instant::now();
+    println!("== scap-atpg evaluation @ scale {scale} ==\n");
+    let study = CaseStudy::new(scale);
+
+    // Tables 1 & 2.
+    let report = experiments::table1(&study);
+    println!("{}", experiments::render_table1(&report));
+    println!("{}", experiments::render_table2(&report));
+
+    // Table 3 + thresholds.
+    let t3 = experiments::table3(&study);
+    println!("{}", experiments::render_table3(&study, &t3));
+    let b5 = study.design.block_named("B5").expect("B5 exists");
+    let thr = experiments::scap_thresholds(&study)[b5.index()];
+    println!("B5 SCAP screening threshold: {thr:.2} mW\n");
+
+    // Flows.
+    println!("[{}s] running conventional random-fill ATPG …", t0.elapsed().as_secs());
+    let conventional = flows::conventional(&study);
+    println!("[{}s] running noise-aware staged ATPG …", t0.elapsed().as_secs());
+    let noise_aware = flows::noise_aware(&study);
+
+    // Table 4.
+    let t4 = experiments::table4(&study, &conventional);
+    println!("\n{}", experiments::render_table4(&t4));
+
+    // Figures 2 & 6.
+    let f2 = experiments::fig2(&study, &conventional);
+    let f6 = experiments::fig6(&study, &noise_aware);
+    println!("{}", experiments::render_scap_series("Figure 2 (conventional B5 SCAP)", &f2));
+    println!("{}", experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &f6));
+    for (label, start) in &noise_aware.steps {
+        println!("  {label}: starts at pattern {start}");
+    }
+
+    // Figure 3.
+    let f3 = experiments::fig3(&study, &conventional);
+    println!("\n{}", experiments::render_fig3(&study, &f3));
+
+    // Figure 4.
+    println!("{}", experiments::render_fig4(&conventional, &noise_aware));
+
+    // Figure 5 pipeline smoke: one trace through the SCAP calculator.
+    let analyzer = PatternAnalyzer::new(&study);
+    let trace = analyzer.trace(&conventional.patterns.filled[0]);
+    println!(
+        "Figure 5 pipeline: pattern 0 -> {} toggles, STW {:.2} ns, chip SCAP {:.1} mW\n",
+        trace.num_toggles(),
+        trace.stw_ps() / 1000.0,
+        analyzer.power_of_trace(&trace).chip_scap_vdd_mw()
+    );
+
+    // Figure 7.
+    let f7 = experiments::fig7(&study, &noise_aware);
+    println!("{}", experiments::render_fig7(&f7));
+
+    // Ablations.
+    let rows = ablation::staged_fill_matrix(&study);
+    println!("{}", ablation::render_matrix(&rows));
+    let sweep = ablation::threshold_sensitivity(&study, &conventional, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+    println!("threshold sensitivity (factor -> conventional patterns above):");
+    for (f, above) in &sweep {
+        println!("  x{f:<5} {above}");
+    }
+    println!("\ntotal wall time: {:.0} s", t0.elapsed().as_secs_f64());
+}

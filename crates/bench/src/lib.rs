@@ -1,0 +1,50 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every bench prints its paper-style rows once (outside the measured
+//! region) and then benchmarks a representative kernel. The case study and
+//! the two ATPG flows are expensive, so they are built once per process
+//! and shared.
+//!
+//! The design scale defaults to `0.01` (≈230 flops) so the full
+//! `cargo bench` sweep finishes in minutes; set `SCAP_BENCH_SCALE` to run
+//! the evaluation at a larger size (e.g. `SCAP_BENCH_SCALE=0.05`).
+
+use scap::flows::{self, FlowResult};
+use scap::CaseStudy;
+use std::sync::OnceLock;
+
+/// The benchmark design scale (`SCAP_BENCH_SCALE`, default 0.01).
+pub fn bench_scale() -> f64 {
+    std::env::var("SCAP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+/// The shared case study.
+pub fn study() -> &'static CaseStudy {
+    static STUDY: OnceLock<CaseStudy> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let scale = bench_scale();
+        eprintln!("[scap-bench] building case-study SOC at scale {scale}");
+        CaseStudy::new(scale)
+    })
+}
+
+/// The shared conventional (random-fill) flow result.
+pub fn conventional() -> &'static FlowResult {
+    static CONV: OnceLock<FlowResult> = OnceLock::new();
+    CONV.get_or_init(|| {
+        eprintln!("[scap-bench] running conventional random-fill ATPG …");
+        flows::conventional(study())
+    })
+}
+
+/// The shared noise-aware flow result.
+pub fn noise_aware() -> &'static FlowResult {
+    static NA: OnceLock<FlowResult> = OnceLock::new();
+    NA.get_or_init(|| {
+        eprintln!("[scap-bench] running noise-aware staged ATPG …");
+        flows::noise_aware(study())
+    })
+}

@@ -1,0 +1,315 @@
+//! `scap` — command-line front-end for the supply-voltage-noise-aware
+//! transition-delay-fault ATPG suite.
+//!
+//! ```text
+//! scap generate --scale 0.01 [--verilog out.v]          design + Tables 1-2
+//! scap atpg     --scale 0.01 [--flow noise-aware]       run a flow
+//!               [--fill fill-0] [--stil out.stil] [--compact]
+//! scap profile  --scale 0.01 [--flow conventional]      per-pattern SCAP
+//! scap schedule --scale 0.01 --budget <mW>              session scheduling
+//! ```
+//!
+//! Everything is regenerated deterministically from `--scale` (and the
+//! built-in seed), so commands compose without intermediate files.
+
+use scap::dft::FillPolicy;
+use scap::{ablation, compact_patterns, experiments, flows, schedule, CaseStudy};
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .inspect(|_| {
+                        raw.next();
+                    });
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Parses and validates `--scale`, exiting with a clean message on a
+    /// malformed or out-of-range value.
+    fn scale(&self) -> f64 {
+        let Some(raw) = self.get("scale") else {
+            return 0.01;
+        };
+        match raw.parse::<f64>() {
+            Ok(s) if s > 0.0 && s <= 1.0 => s,
+            Ok(s) => {
+                eprintln!("error: --scale must be in (0, 1], got {s}");
+                std::process::exit(2);
+            }
+            Err(_) => {
+                eprintln!("error: --scale expects a number, got '{raw}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scap <generate|atpg|profile|schedule|paths|evaluate> [--scale S] [options]\n\
+         \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
+         \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
+         \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact\
+         \n  profile    per-pattern B5 SCAP of a flow vs the screening threshold\
+         \n  schedule   power-constrained session scheduling: --budget MILLIWATTS\
+         \n  paths      report the N worst timing paths: --count N\
+         \n  evaluate   every table and figure of the paper (long)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let Some(cmd) = args.positional.first().map(String::as_str) else {
+        return usage();
+    };
+    match cmd {
+        "generate" => generate(&args),
+        "atpg" => atpg(&args),
+        "profile" => profile(&args),
+        "schedule" => schedule_cmd(&args),
+        "paths" => paths(&args),
+        "evaluate" => evaluate(&args),
+        _ => usage(),
+    }
+}
+
+fn generate(args: &Args) -> ExitCode {
+    let study = CaseStudy::new(args.scale());
+    let report = experiments::table1(&study);
+    println!("{}", experiments::render_table1(&report));
+    println!("{}", experiments::render_table2(&report));
+    if let Some(path) = args.get("verilog") {
+        let text = scap::netlist::verilog::to_verilog(&study.design.netlist);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn pick_flow(args: &Args, study: &CaseStudy) -> flows::FlowResult {
+    let fill = match args.get("fill") {
+        Some("random-fill") | Some("random") => Some(FillPolicy::Random),
+        Some("fill-0") => Some(FillPolicy::Zero),
+        Some("fill-1") => Some(FillPolicy::One),
+        Some("fill-adjacent") => Some(FillPolicy::Adjacent),
+        _ => None,
+    };
+    match args.get("flow").unwrap_or("noise-aware") {
+        "conventional" => flows::conventional_with(
+            study,
+            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Random)),
+        ),
+        _ => flows::noise_aware_with(
+            study,
+            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Zero)),
+            &flows::paper_stages(study),
+        ),
+    }
+}
+
+fn atpg(args: &Args) -> ExitCode {
+    let study = CaseStudy::new(args.scale());
+    let mut flow = pick_flow(args, &study);
+    println!(
+        "{} patterns, {:.2} % fault coverage",
+        flow.patterns.len(),
+        100.0 * flow.fault_coverage()
+    );
+    if args.has("compact") {
+        let (kept, compacted) = compact_patterns(
+            &study.design.netlist,
+            study.clka(),
+            &flow.faults,
+            &flow.patterns,
+        );
+        println!(
+            "static compaction: {} -> {} patterns",
+            flow.patterns.len(),
+            kept.len()
+        );
+        flow.patterns = compacted;
+    }
+    if let Some(path) = args.get("stil") {
+        let text = scap::dft::export::to_stil(&study.design.netlist, &flow.patterns);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn profile(args: &Args) -> ExitCode {
+    let study = CaseStudy::new(args.scale());
+    let flow = pick_flow(args, &study);
+    let b5 = study.design.block_named("B5").expect("B5 exists");
+    let threshold = experiments::scap_thresholds(&study)[b5.index()];
+    let series = experiments::scap_series(&study, &flow, b5, threshold);
+    println!(
+        "{}",
+        experiments::render_scap_series("B5 SCAP profile", &series)
+    );
+    let sweep = ablation::threshold_sensitivity(&study, &flow, &[0.5, 1.0, 2.0]);
+    for (f, above) in sweep {
+        println!("threshold x{f}: {above} patterns above");
+    }
+    ExitCode::SUCCESS
+}
+
+fn schedule_cmd(args: &Args) -> ExitCode {
+    let study = CaseStudy::new(args.scale());
+    let flow = pick_flow(args, &study);
+    let tests = schedule::block_tests_from_flow(&study, &flow);
+    let serial = schedule::serial_length(&tests);
+    let budget: f64 = args
+        .get("budget")
+        .and_then(|b| b.parse().ok())
+        .unwrap_or_else(|| {
+            2.0 * tests
+                .iter()
+                .map(|t| t.power_mw)
+                .fold(0.0, f64::max)
+        });
+    let plan = schedule::schedule(&tests, budget);
+    println!("budget {budget:.2} mW | serial length {serial} patterns");
+    for (i, s) in plan.sessions.iter().enumerate() {
+        let names: Vec<String> = s
+            .members
+            .iter()
+            .map(|m| study.design.netlist.block(m.block).name.clone())
+            .collect();
+        println!(
+            "session {i}: {:<18} {:>7.2} mW  {:>6} patterns",
+            names.join("+"),
+            s.power_mw(),
+            s.length()
+        );
+    }
+    println!(
+        "scheduled length {} patterns ({:.0} % of serial)",
+        plan.total_length(),
+        100.0 * plan.total_length() as f64 / serial.max(1) as f64
+    );
+    ExitCode::SUCCESS
+}
+
+fn evaluate(args: &Args) -> ExitCode {
+    let study = CaseStudy::new(args.scale());
+    let report = experiments::table1(&study);
+    println!("{}", experiments::render_table1(&report));
+    let t3 = experiments::table3(&study);
+    println!("{}", experiments::render_table3(&study, &t3));
+    let conv = flows::conventional(&study);
+    let na = flows::noise_aware(&study);
+    println!("{}", experiments::render_table4(&experiments::table4(&study, &conv)));
+    println!(
+        "{}",
+        experiments::render_scap_series("Figure 2", &experiments::fig2(&study, &conv))
+    );
+    println!(
+        "{}",
+        experiments::render_scap_series("Figure 6", &experiments::fig6(&study, &na))
+    );
+    println!("{}", experiments::render_fig3(&study, &experiments::fig3(&study, &conv)));
+    println!("{}", experiments::render_fig4(&conv, &na));
+    println!("{}", experiments::render_fig7(&experiments::fig7(&study, &na)));
+    ExitCode::SUCCESS
+}
+
+fn paths(args: &Args) -> ExitCode {
+    use scap::timing::Sta;
+    let study = CaseStudy::new(args.scale());
+    let count = args
+        .get("count")
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(5usize);
+    let sta = Sta::run(&study.design.netlist, &study.annotation, &study.arrivals);
+    println!(
+        "critical path {:.0} ps, worst slack {:.0} ps (cycle {:.0} ps)",
+        sta.critical_path_ps(),
+        sta.worst_slack_ps().unwrap_or(0.0),
+        study.period_ps()
+    );
+    for (k, p) in sta.worst_paths(&study.design.netlist, count).iter().enumerate() {
+        println!(
+            "path {k}: endpoint {} arrival {:.0} ps slack {:.0} ps depth {}",
+            p.endpoint,
+            p.data_arrival_ps,
+            p.slack_ps,
+            p.depth()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let args = Args::parse(
+            ["atpg", "--scale", "0.02", "--compact", "--stil", "out.stil"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.positional, vec!["atpg"]);
+        assert_eq!(args.scale(), 0.02);
+        assert!(args.has("compact"));
+        assert_eq!(args.get("stil"), Some("out.stil"));
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn flag_without_value_before_another_flag() {
+        let args = Args::parse(
+            ["profile", "--compact", "--scale", "0.5"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(args.has("compact"));
+        assert_eq!(args.get("compact"), None);
+        assert_eq!(args.scale(), 0.5);
+    }
+
+    #[test]
+    fn default_scale_when_absent() {
+        let args = Args::parse(["generate"].into_iter().map(String::from));
+        assert_eq!(args.scale(), 0.01);
+    }
+}

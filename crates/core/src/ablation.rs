@@ -1,0 +1,156 @@
+//! Ablation studies on the paper's design choices.
+//!
+//! The paper's procedure combines two mechanisms: *staged per-block fault
+//! targeting* and *fill-0 don't-care filling*. [`staged_fill_matrix`]
+//! separates their contributions; [`threshold_sensitivity`] sweeps the
+//! SCAP screening threshold, exposing the threshold ↔ pattern-count
+//! trade-off the paper discusses in §2.2 ("the lower the threshold … the
+//! greater number of delay test patterns").
+
+use crate::flows::{self, FlowResult};
+use crate::{experiments, CaseStudy};
+use scap_dft::FillPolicy;
+
+/// One row of the staged/fill ablation.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Patterns generated.
+    pub patterns: usize,
+    /// Final fault coverage.
+    pub fault_coverage: f64,
+    /// Fraction of patterns whose B5 SCAP exceeds the screening threshold.
+    pub fraction_above: f64,
+    /// Mean B5 SCAP, mW.
+    pub mean_scap_mw: f64,
+}
+
+fn measure(study: &CaseStudy, label: &str, flow: &FlowResult) -> AblationRow {
+    let b5 = study.design.block_named("B5").expect("B5 exists");
+    let threshold = experiments::scap_thresholds(study)[b5.index()];
+    let series = experiments::scap_series(study, flow, b5, threshold);
+    AblationRow {
+        label: label.to_owned(),
+        patterns: flow.patterns.len(),
+        fault_coverage: flow.fault_coverage(),
+        fraction_above: series.fraction_above(),
+        mean_scap_mw: series.scap_mw.iter().sum::<f64>() / series.scap_mw.len().max(1) as f64,
+    }
+}
+
+/// Runs the 2×2 matrix {flat, staged} × {random-fill, fill-0}.
+///
+/// The paper's procedure is the staged/fill-0 corner; the conventional
+/// baseline is flat/random. The off-diagonal corners show that *both*
+/// mechanisms are needed: staging without fill-0 still randomizes the
+/// quiet blocks; fill-0 without staging still targets (and wakes) every
+/// block at once.
+pub fn staged_fill_matrix(study: &CaseStudy) -> Vec<AblationRow> {
+    let stages = flows::paper_stages(study);
+    let mut rows = Vec::new();
+    for (staged, stage_label) in [(false, "flat"), (true, "staged")] {
+        for fill in [FillPolicy::Random, FillPolicy::Zero] {
+            let config = flows::flow_atpg_config(fill);
+            let flow = if staged {
+                flows::noise_aware_with(study, config, &stages)
+            } else {
+                flows::conventional_with(study, config)
+            };
+            rows.push(measure(
+                study,
+                &format!("{stage_label}/{fill}"),
+                &flow,
+            ));
+        }
+    }
+    rows
+}
+
+/// Sweeps the screening threshold by multiplying the statistical Case-2
+/// value by each factor, returning `(factor, patterns above)` for an
+/// existing flow.
+pub fn threshold_sensitivity(
+    study: &CaseStudy,
+    flow: &FlowResult,
+    factors: &[f64],
+) -> Vec<(f64, usize)> {
+    let b5 = study.design.block_named("B5").expect("B5 exists");
+    let base = experiments::scap_thresholds(study)[b5.index()];
+    let series = experiments::scap_series(study, flow, b5, base);
+    factors
+        .iter()
+        .map(|&f| {
+            let t = base * f;
+            let above = series.scap_mw.iter().filter(|&&s| s > t).count();
+            (f, above)
+        })
+        .collect()
+}
+
+/// Renders the ablation matrix.
+pub fn render_matrix(rows: &[AblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        String::from("Ablation: staging x fill\n  config              patterns  coverage  B5>thr  mean B5 SCAP\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>9} {:>8.1}% {:>6.1}% {:>9.2} mW",
+            r.label,
+            r.patterns,
+            100.0 * r.fault_coverage,
+            100.0 * r.fraction_above,
+            r.mean_scap_mw
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shows_fill0_reduces_scap() {
+        let (study, _, _) = crate::flows::tests::fixture();
+        let rows = staged_fill_matrix(study);
+        assert_eq!(rows.len(), 4);
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.label.starts_with(label))
+                .expect("row exists")
+        };
+        let flat_random = get("flat/random");
+        let staged_zero = get("staged/fill-0");
+        // The paper's corner beats the conventional corner on noise.
+        assert!(
+            staged_zero.mean_scap_mw < flat_random.mean_scap_mw,
+            "staged/fill-0 {:.2} must be quieter than flat/random {:.2}",
+            staged_zero.mean_scap_mw,
+            flat_random.mean_scap_mw
+        );
+        // Coverage stays comparable across the matrix.
+        for r in &rows {
+            assert!(
+                (r.fault_coverage - flat_random.fault_coverage).abs() < 0.15,
+                "{}: coverage {:.3}",
+                r.label,
+                r.fault_coverage
+            );
+        }
+        assert!(render_matrix(&rows).contains("staged"));
+    }
+
+    #[test]
+    fn threshold_sweep_is_monotone() {
+        let (study, conv, _) = crate::flows::tests::fixture();
+        let sweep = threshold_sensitivity(study, conv, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        for w in sweep.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "raising the threshold cannot increase violations: {sweep:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Small-delay defects and faster-than-at-speed capture.
+//!
+//! The paper's STW observation comes from the authors' companion work on
+//! faster-than-at-speed testing under IR-drop (its reference [20]): gross
+//! transition faults are caught at the functional period, but a *small*
+//! delay defect of size δ on a path with slack > δ escapes — unless the
+//! capture edge is moved in. This module computes, per fault, the largest
+//! detection arrival any pattern achieves (the longest sensitized path
+//! through the fault that actually reaches a capture flop), from which
+//! small-delay-defect coverage at any capture period follows; and the
+//! *safe* faster-than-at-speed period of each pattern, with and without
+//! IR-drop-aware timing — over-clocking past the IR-aware bound would
+//! fail good silicon, which is precisely the paper's warning.
+
+use crate::{CaseStudy, PatternAnalyzer};
+use scap_dft::{PatternBatch, PatternSet};
+use scap_sim::{FaultList, PropagationScratch, TransitionFaultSim};
+
+/// Per-fault detection-arrival summary over a pattern set.
+#[derive(Clone, Debug)]
+pub struct SddProfile {
+    /// For each fault: the latest arrival (ps) at an observing capture
+    /// point over all detecting patterns, or `None` if undetected.
+    pub detection_arrival_ps: Vec<Option<f64>>,
+    /// Flop setup time used for slack math, ps.
+    pub setup_ps: f64,
+}
+
+impl SddProfile {
+    /// Fraction of *detected* faults whose small-delay defect of size
+    /// `defect_ps` would be caught with a capture period of `period_ps`:
+    /// the defect is exposed iff `arrival + δ` crosses the capture edge.
+    pub fn sdd_coverage(&self, defect_ps: f64, period_ps: f64) -> f64 {
+        let detected: Vec<f64> = self
+            .detection_arrival_ps
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if detected.is_empty() {
+            return 0.0;
+        }
+        let catch = detected
+            .iter()
+            .filter(|&&t| t + defect_ps > period_ps - self.setup_ps)
+            .count();
+        catch as f64 / detected.len() as f64
+    }
+
+    /// The smallest defect (ps) detectable on at least `fraction` of the
+    /// detected faults at `period_ps`.
+    pub fn detectable_defect_ps(&self, fraction: f64, period_ps: f64) -> f64 {
+        let mut slacks: Vec<f64> = self
+            .detection_arrival_ps
+            .iter()
+            .flatten()
+            .map(|&t| (period_ps - self.setup_ps - t).max(0.0))
+            .collect();
+        if slacks.is_empty() {
+            return f64::INFINITY;
+        }
+        slacks.sort_by(|a, b| a.partial_cmp(b).expect("slacks are finite"));
+        let k = ((slacks.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, slacks.len());
+        slacks[k - 1]
+    }
+}
+
+/// Small-delay-defect analysis bound to a case study.
+#[derive(Debug)]
+pub struct SddAnalysis<'a> {
+    study: &'a CaseStudy,
+    analyzer: PatternAnalyzer<'a>,
+    sim: TransitionFaultSim<'a>,
+}
+
+impl<'a> SddAnalysis<'a> {
+    /// Builds the analysis for the dominant clock domain.
+    pub fn new(study: &'a CaseStudy) -> Self {
+        SddAnalysis {
+            study,
+            analyzer: PatternAnalyzer::new(study),
+            sim: TransitionFaultSim::new(&study.design.netlist, study.clka()),
+        }
+    }
+
+    /// Profiles detection arrivals of `faults` over `patterns`.
+    ///
+    /// Cost is one fault-signature pass per pattern; restrict the pattern
+    /// set (e.g. the compacted set) for large designs.
+    pub fn profile(&self, faults: &FaultList, patterns: &PatternSet) -> SddProfile {
+        let n = &self.study.design.netlist;
+        let mut arrival: Vec<Option<f64>> = vec![None; faults.faults().len()];
+        let mut scratch = PropagationScratch::new(n.num_nets());
+        for (p, filled) in patterns.filled.iter().enumerate() {
+            let _ = p;
+            let batch = PatternBatch::pack(std::slice::from_ref(filled));
+            let frames = self.sim.frames(&batch.load_words, &batch.pi_words);
+            let trace = self.analyzer.trace(filled);
+            for (fi, &fault) in faults.faults().iter().enumerate() {
+                let signature = self.sim.signature_one(&frames, 1, fault, &mut scratch);
+                let mut t_best: Option<f64> = None;
+                for (net, mask) in signature {
+                    if mask & 1 == 1 {
+                        if let Some(t) = trace.last_change_ps(net) {
+                            t_best = Some(t_best.map_or(t, |b: f64| b.max(t)));
+                        }
+                    }
+                }
+                if let Some(t) = t_best {
+                    arrival[fi] = Some(arrival[fi].map_or(t, |b: f64| b.max(t)));
+                }
+            }
+        }
+        SddProfile {
+            detection_arrival_ps: arrival,
+            setup_ps: n.library.flop().setup_ps,
+        }
+    }
+
+    /// The fastest safe capture period of one pattern: the latest endpoint
+    /// arrival plus setup. With `ir_aware`, delays and the clock tree are
+    /// first scaled by the pattern's own IR-drop — the paper's point is
+    /// that this bound is *longer* than the nominal one, so over-clocking
+    /// schedules must use it.
+    pub fn safe_capture_period_ps(&self, filled: &scap_dft::FilledPattern, ir_aware: bool) -> f64 {
+        let report = if ir_aware {
+            self.analyzer.endpoint_delays_scaled(filled).1
+        } else {
+            self.analyzer.endpoint_delays(filled)
+        };
+        report.max_delay_ps() + self.study.design.netlist.library.flop().setup_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use scap_dft::{FillPolicy, TestPattern};
+
+    fn fixture() -> (CaseStudy, FaultList, PatternSet) {
+        let study = CaseStudy::new(0.004);
+        let n = &study.design.netlist;
+        let faults = FaultList::full(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut set = PatternSet::new();
+        for _ in 0..24 {
+            let p = TestPattern::unspecified(n);
+            let f = p.fill(n, FillPolicy::Random, &mut rng);
+            set.push(p, f);
+        }
+        (study, faults, set)
+    }
+
+    #[test]
+    fn coverage_grows_with_defect_size_and_shrinking_period() {
+        let (study, faults, set) = fixture();
+        let sdd = SddAnalysis::new(&study);
+        let profile = sdd.profile(&faults, &set);
+        let period = study.period_ps();
+        let c_small = profile.sdd_coverage(500.0, period);
+        let c_large = profile.sdd_coverage(8_000.0, period);
+        assert!(c_large >= c_small, "{c_large} vs {c_small}");
+        // Faster capture exposes the same defect on more paths.
+        let c_fast = profile.sdd_coverage(500.0, period * 0.6);
+        assert!(c_fast >= c_small, "{c_fast} vs {c_small}");
+        // Gross defects at the functional period are fully caught.
+        let c_gross = profile.sdd_coverage(period, period);
+        assert!(c_gross > 0.99, "{c_gross}");
+    }
+
+    #[test]
+    fn detectable_defect_shrinks_with_faster_capture() {
+        let (study, faults, set) = fixture();
+        let sdd = SddAnalysis::new(&study);
+        let profile = sdd.profile(&faults, &set);
+        let at_speed = profile.detectable_defect_ps(0.9, study.period_ps());
+        let faster = profile.detectable_defect_ps(0.9, study.period_ps() * 0.7);
+        assert!(faster < at_speed, "{faster} vs {at_speed}");
+        assert!(at_speed.is_finite());
+    }
+
+    #[test]
+    fn ir_aware_safe_period_is_longer() {
+        let (study, _, set) = fixture();
+        let sdd = SddAnalysis::new(&study);
+        // Use the highest-activity pattern to see a meaningful droop.
+        let analyzer = PatternAnalyzer::new(&study);
+        let profile = analyzer.power_profile(&set);
+        let hot = profile
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.chip_scap_vdd_mw()
+                    .partial_cmp(&b.chip_scap_vdd_mw())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        let nominal = sdd.safe_capture_period_ps(&set.filled[hot], false);
+        let ir = sdd.safe_capture_period_ps(&set.filled[hot], true);
+        assert!(
+            ir > nominal,
+            "IR-aware bound {ir} must exceed nominal {nominal}"
+        );
+        // Both are meaningful fractions of the functional period.
+        assert!(nominal > 0.2 * study.period_ps());
+        assert!(ir < 1.5 * study.period_ps());
+    }
+}

@@ -1,0 +1,164 @@
+//! Text export of pattern sets, in a STIL-flavoured format.
+//!
+//! One `Pattern` block per test: per-chain scan-load strings (position 0
+//! first, i.e. the order the bits sit in the chain after loading) plus the
+//! held primary-input vector. Enough structure for diffing pattern sets
+//! and hand-inspecting loads; not a full IEEE 1450 implementation.
+
+use crate::{FilledPattern, PatternSet};
+use scap_netlist::Netlist;
+use std::fmt::Write;
+
+/// Renders a pattern set as STIL-flavoured text.
+///
+/// # Example
+///
+/// ```no_run
+/// # use scap_netlist::Netlist;
+/// # use scap_dft::PatternSet;
+/// # fn demo(netlist: &Netlist, patterns: &PatternSet) {
+/// let text = scap_dft::export::to_stil(netlist, patterns);
+/// std::fs::write("patterns.stil", text).expect("write pattern file");
+/// # }
+/// ```
+pub fn to_stil(netlist: &Netlist, patterns: &PatternSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "STIL 1.0;");
+    let _ = writeln!(out, "// design {}", netlist.name);
+    let _ = writeln!(
+        out,
+        "// {} patterns, fill {}",
+        patterns.len(),
+        patterns
+            .fill
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "none".to_owned())
+    );
+    let chains = chain_order(netlist);
+    let _ = writeln!(out, "PatternBurst burst {{ {} chains }}", chains.len());
+    for (p, filled) in patterns.filled.iter().enumerate() {
+        let _ = writeln!(out, "Pattern p{p} {{");
+        for (c, members) in chains.iter().enumerate() {
+            let bits: String = members
+                .iter()
+                .map(|&i| if filled.load[i] { '1' } else { '0' })
+                .collect();
+            let _ = writeln!(out, "  Load chain{c} = {bits};");
+        }
+        let pi: String = filled
+            .pi
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let _ = writeln!(out, "  PI = {pi};");
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Parses a single pattern's chains back out of the exported text — used
+/// for round-trip testing and quick external tooling.
+///
+/// Returns `None` when the pattern index is missing or malformed.
+pub fn parse_pattern(netlist: &Netlist, text: &str, index: usize) -> Option<FilledPattern> {
+    let header = format!("Pattern p{index} {{");
+    let start = text.find(&header)? + header.len();
+    let body = &text[start..text[start..].find('}')? + start];
+    let chains = chain_order(netlist);
+    let mut load = vec![false; netlist.num_flops()];
+    for (c, members) in chains.iter().enumerate() {
+        let tag = format!("Load chain{c} = ");
+        let s = body.find(&tag)? + tag.len();
+        let bits = &body[s..body[s..].find(';')? + s];
+        if bits.len() != members.len() {
+            return None;
+        }
+        for (bit, &i) in bits.chars().zip(members) {
+            load[i] = bit == '1';
+        }
+    }
+    let tag = "PI = ";
+    let s = body.find(tag)? + tag.len();
+    let bits = &body[s..body[s..].find(';')? + s];
+    let pi = bits.chars().map(|c| c == '1').collect();
+    Some(FilledPattern { load, pi })
+}
+
+/// Flop indices per chain, in scan position order.
+fn chain_order(netlist: &Netlist) -> Vec<Vec<usize>> {
+    let mut chains: Vec<Vec<(u32, usize)>> = Vec::new();
+    for (i, f) in netlist.flops().iter().enumerate() {
+        if let Some(role) = f.scan {
+            let c = role.chain as usize;
+            if chains.len() <= c {
+                chains.resize(c + 1, Vec::new());
+            }
+            chains[c].push((role.position, i));
+        }
+    }
+    chains
+        .into_iter()
+        .map(|mut c| {
+            c.sort_unstable();
+            c.into_iter().map(|(_, i)| i).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{insert_scan, ScanConfig, TestPattern};
+    use scap_netlist::{ClockEdge, NetlistBuilder};
+
+    fn scan_design(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("e");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        for i in 0..n {
+            let d = b.add_primary_input(format!("d{i}"));
+            let q = b.add_net(format!("q{i}"));
+            b.add_flop(format!("ff{i}"), d, q, clk, ClockEdge::Rising, blk)
+                .unwrap();
+        }
+        let mut netlist = b.finish().unwrap();
+        insert_scan(&mut netlist, &ScanConfig::new(3), None);
+        netlist
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let n = scan_design(11);
+        let mut set = PatternSet::new();
+        for k in 0..4usize {
+            let filled = FilledPattern {
+                load: (0..11).map(|i| (i + k) % 3 == 0).collect(),
+                pi: (0..n.primary_inputs().len()).map(|i| i % 2 == 0).collect(),
+            };
+            set.push(TestPattern::unspecified(&n), filled);
+        }
+        let text = to_stil(&n, &set);
+        assert!(text.contains("STIL 1.0;"));
+        for k in 0..4 {
+            let parsed = parse_pattern(&n, &text, k).expect("pattern parses");
+            assert_eq!(parsed, set.filled[k], "pattern {k}");
+        }
+        assert!(parse_pattern(&n, &text, 99).is_none());
+    }
+
+    #[test]
+    fn chains_export_in_position_order() {
+        let n = scan_design(6);
+        let chains = chain_order(&n);
+        assert_eq!(chains.len(), 3);
+        for members in &chains {
+            // Positions are dense and increasing by construction.
+            for (expect, &i) in members.iter().enumerate() {
+                assert_eq!(
+                    n.flops()[i].scan.unwrap().position as usize,
+                    expect
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Design-for-test infrastructure: scan insertion and test patterns.
+//!
+//! Replaces the DFT half of the paper's flow (Synopsys DFT Compiler):
+//!
+//! * [`insert_scan`] — full-scan stitching into a configurable number of
+//!   chains, ordered by placement to minimize wirelength, with
+//!   falling-edge flops isolated on a dedicated chain (the paper's design
+//!   has 22 of them on their own chain),
+//! * [`TestPattern`] / [`FilledPattern`] — scan loads with don't-cares and
+//!   their fully-specified forms,
+//! * [`FillPolicy`] — the TetraMAX fill options the paper compares:
+//!   `random` (conventional), `fill0`, `fill1` and `fill-adjacent`,
+//! * [`PatternSet`] — an ordered pattern collection with batch conversion
+//!   for the 64-way simulators.
+//!
+//! # Example
+//!
+//! ```no_run
+//! # use scap_netlist::Netlist;
+//! # fn demo(netlist: &mut Netlist) {
+//! use scap_dft::{insert_scan, ScanConfig};
+//! let chains = insert_scan(netlist, &ScanConfig::new(16), None);
+//! println!("{} chains, longest {}", chains.num_chains(), chains.max_length());
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+mod fill;
+mod pattern;
+mod scan;
+
+pub use fill::FillPolicy;
+pub use pattern::{FilledPattern, PatternBatch, PatternSet, TestPattern};
+pub use scan::{insert_scan, ChainReport, ScanConfig};

@@ -1,0 +1,211 @@
+//! Full-scan chain construction.
+
+use scap_netlist::{ClockEdge, Floorplan, FlopId, Netlist, ScanRole};
+
+/// Scan-insertion configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Total number of scan chains (the paper's design uses 16). One chain
+    /// is reserved for falling-edge flops when any exist.
+    pub num_chains: u16,
+}
+
+impl ScanConfig {
+    /// Creates a configuration with `num_chains` chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chains == 0`.
+    pub fn new(num_chains: u16) -> Self {
+        assert!(num_chains > 0, "at least one scan chain is required");
+        ScanConfig { num_chains }
+    }
+}
+
+/// Summary of the stitched chains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChainReport {
+    /// Flop count per chain, indexed by chain number.
+    pub lengths: Vec<u32>,
+    /// The chain reserved for falling-edge flops, if any.
+    pub negative_edge_chain: Option<u16>,
+}
+
+impl ChainReport {
+    /// Number of chains actually used.
+    pub fn num_chains(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Longest chain (shift cycles per load).
+    pub fn max_length(&self) -> u32 {
+        self.lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total scan cells.
+    pub fn total_cells(&self) -> u32 {
+        self.lengths.iter().sum()
+    }
+}
+
+/// Performs full-scan insertion: every flop gets a [`ScanRole`].
+///
+/// Rising-edge flops are distributed over the available chains balanced by
+/// count; when a floorplan is provided, flops are first sorted in a
+/// row-major snake order so that consecutive chain positions are physically
+/// adjacent (the paper's "scan cell ordering to minimize scan chain
+/// wirelength"). Falling-edge flops — 22 in the paper's design — go to a
+/// dedicated final chain so the shift clocking stays clean.
+pub fn insert_scan(
+    netlist: &mut Netlist,
+    config: &ScanConfig,
+    floorplan: Option<&Floorplan>,
+) -> ChainReport {
+    let mut rising: Vec<FlopId> = Vec::new();
+    let mut falling: Vec<FlopId> = Vec::new();
+    for (i, f) in netlist.flops().iter().enumerate() {
+        let id = FlopId::new(i as u32);
+        match f.edge {
+            ClockEdge::Rising => rising.push(id),
+            ClockEdge::Falling => falling.push(id),
+        }
+    }
+    if let Some(fp) = floorplan {
+        let key = |f: &FlopId| {
+            let p = fp.placement.flop(*f);
+            // Snake order: 100 µm rows, alternate direction per row.
+            let row = (p.y / 100.0).floor() as i64;
+            let x_key = if row % 2 == 0 { p.x } else { -p.x };
+            (row, (x_key * 1000.0) as i64)
+        };
+        rising.sort_by_key(key);
+        falling.sort_by_key(key);
+    }
+    let has_neg = !falling.is_empty();
+    let data_chains = if has_neg && config.num_chains > 1 {
+        config.num_chains - 1
+    } else {
+        config.num_chains
+    };
+    let mut lengths = vec![0u32; config.num_chains as usize];
+    // Contiguous split keeps placement order within each chain.
+    let per_chain = rising.len().div_ceil(data_chains as usize).max(1);
+    for (i, &f) in rising.iter().enumerate() {
+        let chain = (i / per_chain).min(data_chains as usize - 1) as u16;
+        let position = lengths[chain as usize];
+        netlist.set_scan_role(f, ScanRole { chain, position });
+        lengths[chain as usize] += 1;
+    }
+    let mut negative_edge_chain = None;
+    if has_neg {
+        let chain = config.num_chains - 1;
+        negative_edge_chain = Some(chain);
+        for &f in &falling {
+            let position = lengths[chain as usize];
+            netlist.set_scan_role(f, ScanRole { chain, position });
+            lengths[chain as usize] += 1;
+        }
+    }
+    while lengths.last() == Some(&0) {
+        lengths.pop();
+    }
+    ChainReport {
+        lengths,
+        negative_edge_chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_netlist::{CellKind, NetlistBuilder};
+
+    fn flops(n_pos: usize, n_neg: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("s");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        for i in 0..(n_pos + n_neg) {
+            let d = b.add_primary_input(format!("d{i}"));
+            let q = b.add_net(format!("q{i}"));
+            let edge = if i < n_pos {
+                ClockEdge::Rising
+            } else {
+                ClockEdge::Falling
+            };
+            b.add_flop(format!("ff{i}"), d, q, clk, edge, blk).unwrap();
+        }
+        // Keep at least one gate so the design is non-degenerate.
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        b.add_primary_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn every_flop_gets_a_role() {
+        let mut n = flops(100, 0);
+        let report = insert_scan(&mut n, &ScanConfig::new(4), None);
+        assert_eq!(report.total_cells(), 100);
+        for f in n.flops() {
+            assert!(f.scan.is_some());
+        }
+    }
+
+    #[test]
+    fn chains_are_balanced() {
+        let mut n = flops(100, 0);
+        let report = insert_scan(&mut n, &ScanConfig::new(4), None);
+        assert_eq!(report.num_chains(), 4);
+        assert!(report.max_length() <= 26, "{:?}", report.lengths);
+    }
+
+    #[test]
+    fn negative_edge_flops_isolated() {
+        let mut n = flops(50, 5);
+        let report = insert_scan(&mut n, &ScanConfig::new(4), None);
+        let neg_chain = report.negative_edge_chain.unwrap();
+        assert_eq!(neg_chain, 3);
+        assert_eq!(report.lengths[neg_chain as usize], 5);
+        for f in n.flops() {
+            let role = f.scan.unwrap();
+            match f.edge {
+                ClockEdge::Falling => assert_eq!(role.chain, neg_chain),
+                ClockEdge::Rising => assert_ne!(role.chain, neg_chain),
+            }
+        }
+    }
+
+    #[test]
+    fn positions_are_dense_per_chain() {
+        let mut n = flops(37, 3);
+        let report = insert_scan(&mut n, &ScanConfig::new(5), None);
+        for chain in 0..report.num_chains() {
+            let mut positions: Vec<u32> = n
+                .flops()
+                .iter()
+                .filter_map(|f| f.scan)
+                .filter(|r| r.chain as usize == chain)
+                .map(|r| r.position)
+                .collect();
+            positions.sort_unstable();
+            for (expect, &got) in positions.iter().enumerate() {
+                assert_eq!(expect as u32, got);
+            }
+        }
+    }
+
+    #[test]
+    fn single_chain_design() {
+        let mut n = flops(10, 0);
+        let report = insert_scan(&mut n, &ScanConfig::new(1), None);
+        assert_eq!(report.num_chains(), 1);
+        assert_eq!(report.max_length(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scan chain")]
+    fn zero_chains_rejected() {
+        let _ = ScanConfig::new(0);
+    }
+}

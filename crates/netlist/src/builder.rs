@@ -1,0 +1,372 @@
+//! Incremental, validated netlist construction.
+
+use crate::netlist::{Block, ClockDomain, Flop, Gate, Net};
+use crate::{
+    BlockId, BuildError, CellKind, ClockEdge, ClockId, FlopId, GateId, Library, NetId, NetSource,
+    Netlist,
+};
+
+/// Builds a [`Netlist`] incrementally, enforcing single-driver nets,
+/// correct gate arity and (at [`finish`](NetlistBuilder::finish) time)
+/// full connectivity and acyclicity of the combinational graph.
+///
+/// # Example
+///
+/// ```
+/// use scap_netlist::{CellKind, ClockEdge, NetlistBuilder};
+///
+/// # fn main() -> Result<(), scap_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("d");
+/// let blk = b.add_block("B1");
+/// let clk = b.add_clock_domain("clka", 100.0e6);
+/// let a = b.add_primary_input("a");
+/// let y = b.add_net("y");
+/// b.add_gate(CellKind::Inv, &[a], y, blk)?;
+/// b.add_primary_output(y);
+/// let n = b.finish()?;
+/// assert_eq!(n.num_gates(), 1);
+/// # let _ = clk;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    library: Library,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    flops: Vec<Flop>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    blocks: Vec<Block>,
+    clocks: Vec<ClockDomain>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder with the default 180 nm library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_library(name, Library::default())
+    }
+
+    /// Creates an empty builder with an explicit library.
+    pub fn with_library(name: impl Into<String>, library: Library) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            library,
+            nets: Vec::new(),
+            gates: Vec::new(),
+            flops: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+            blocks: Vec::new(),
+            clocks: Vec::new(),
+        }
+    }
+
+    /// Registers a hierarchical block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.blocks.push(Block { name: name.into() });
+        BlockId::new(self.blocks.len() as u32 - 1)
+    }
+
+    /// Registers a clock domain and returns its id.
+    pub fn add_clock_domain(&mut self, name: impl Into<String>, frequency_hz: f64) -> ClockId {
+        self.clocks.push(ClockDomain {
+            name: name.into(),
+            frequency_hz,
+        });
+        ClockId::new(self.clocks.len() as u32 - 1)
+    }
+
+    /// Creates an undriven net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        self.nets.push(Net {
+            name: name.into(),
+            source: None,
+        });
+        NetId::new(self.nets.len() as u32 - 1)
+    }
+
+    /// Creates a primary-input net.
+    pub fn add_primary_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.nets[id.index()].source = Some(NetSource::PrimaryInput);
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Creates a constant net tied to `value`.
+    pub fn add_const(&mut self, name: impl Into<String>, value: bool) -> NetId {
+        let id = self.add_net(name);
+        self.nets[id.index()].source = Some(NetSource::Const(value));
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn add_primary_output(&mut self, net: NetId) {
+        self.primary_outputs.push(net);
+    }
+
+    /// Number of nets created so far.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gates created so far.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flops created so far.
+    pub fn num_flops(&self) -> usize {
+        self.flops.len()
+    }
+
+    /// Instantiates a combinational gate driving `output`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::ArityMismatch`] if `inputs.len()` disagrees with
+    ///   `kind`,
+    /// * [`BuildError::UnknownNet`] if any net id is out of range,
+    /// * [`BuildError::MultipleDrivers`] if `output` already has a driver.
+    pub fn add_gate(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+        block: BlockId,
+    ) -> Result<GateId, BuildError> {
+        let id = GateId::new(self.gates.len() as u32);
+        if inputs.len() != kind.num_inputs() {
+            return Err(BuildError::ArityMismatch {
+                gate: id,
+                expected: kind.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        for &n in inputs.iter().chain(std::iter::once(&output)) {
+            if n.index() >= self.nets.len() {
+                return Err(BuildError::UnknownNet { net: n });
+            }
+        }
+        let slot = &mut self.nets[output.index()].source;
+        if slot.is_some() {
+            return Err(BuildError::MultipleDrivers { net: output });
+        }
+        *slot = Some(NetSource::Gate(id));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            block,
+        });
+        Ok(id)
+    }
+
+    /// Instantiates a D flip-flop with data input `d` and output `q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::UnknownNet`] for out-of-range nets,
+    /// * [`BuildError::MultipleDrivers`] if `q` already has a driver.
+    pub fn add_flop(
+        &mut self,
+        name: impl Into<String>,
+        d: NetId,
+        q: NetId,
+        clock: ClockId,
+        edge: ClockEdge,
+        block: BlockId,
+    ) -> Result<FlopId, BuildError> {
+        for &n in &[d, q] {
+            if n.index() >= self.nets.len() {
+                return Err(BuildError::UnknownNet { net: n });
+            }
+        }
+        let id = FlopId::new(self.flops.len() as u32);
+        let slot = &mut self.nets[q.index()].source;
+        if slot.is_some() {
+            return Err(BuildError::MultipleDrivers { net: q });
+        }
+        *slot = Some(NetSource::Flop(id));
+        self.flops.push(Flop {
+            name: name.into(),
+            d,
+            q,
+            clock,
+            edge,
+            block,
+            scan: None,
+        });
+        Ok(id)
+    }
+
+    /// Validates connectivity and acyclicity and produces the immutable
+    /// [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::UndrivenNet`] if any net lacks a driver,
+    /// * [`BuildError::CombinationalLoop`] if gates form a cycle (paths
+    ///   through flops are legal and expected).
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        for (i, net) in self.nets.iter().enumerate() {
+            if net.source.is_none() {
+                return Err(BuildError::UndrivenNet {
+                    net: NetId::new(i as u32),
+                });
+            }
+        }
+        // Kahn's algorithm over gates only; flop Q / PI / const nets are
+        // sources. Detects combinational cycles.
+        let mut indeg = vec![0u32; self.gates.len()];
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                if let Some(NetSource::Gate(src)) = self.nets[inp.index()].source {
+                    indeg[gi] += 1;
+                    fanout[src.index()].push(gi as u32);
+                }
+            }
+        }
+        let mut queue: Vec<u32> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(g) = queue.pop() {
+            seen += 1;
+            for &succ in &fanout[g as usize] {
+                indeg[succ as usize] -= 1;
+                if indeg[succ as usize] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if seen != self.gates.len() {
+            let culprit = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a gate with leftover in-degree");
+            return Err(BuildError::CombinationalLoop {
+                net: self.gates[culprit].output,
+            });
+        }
+        Ok(Netlist::from_parts(
+            self.name,
+            self.library,
+            self.nets,
+            self.gates,
+            self.flops,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.blocks,
+            self.clocks,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (NetlistBuilder, BlockId, ClockId) {
+        let mut b = NetlistBuilder::new("t");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100.0e6);
+        (b, blk, clk)
+    }
+
+    #[test]
+    fn rejects_double_driver() {
+        let (mut b, blk, _) = base();
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        let err = b.add_gate(CellKind::Buf, &[a], y, blk).unwrap_err();
+        assert!(matches!(err, BuildError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let (mut b, blk, _) = base();
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        let err = b.add_gate(CellKind::Nand2, &[a], y, blk).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::ArityMismatch { expected: 2, got: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_undriven_net_at_finish() {
+        let (mut b, blk, _) = base();
+        let floating = b.add_net("floating");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[floating], y, blk).unwrap();
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildError::UndrivenNet { .. }));
+    }
+
+    #[test]
+    fn rejects_combinational_loop() {
+        let (mut b, blk, _) = base();
+        let x = b.add_net("x");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[x], y, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[y], x, blk).unwrap();
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn loop_through_flop_is_legal() {
+        let (mut b, blk, clk) = base();
+        let q = b.add_net("q");
+        let d = b.add_net("d");
+        b.add_gate(CellKind::Inv, &[q], d, blk).unwrap();
+        b.add_flop("ff", d, q, clk, ClockEdge::Rising, blk).unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_net_ids() {
+        let (mut b, blk, clk) = base();
+        let bogus = NetId::new(999);
+        let y = b.add_net("y");
+        assert!(matches!(
+            b.add_gate(CellKind::Inv, &[bogus], y, blk),
+            Err(BuildError::UnknownNet { .. })
+        ));
+        assert!(matches!(
+            b.add_flop("f", bogus, y, clk, ClockEdge::Rising, blk),
+            Err(BuildError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn const_nets_count_as_driven() {
+        let (mut b, blk, _) = base();
+        let one = b.add_const("tie1", true);
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[one], y, blk).unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.net(one).source, Some(NetSource::Const(true)));
+    }
+
+    #[test]
+    fn flop_q_conflicts_with_gate_driver() {
+        let (mut b, blk, clk) = base();
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        let err = b
+            .add_flop("ff", a, y, clk, ClockEdge::Rising, blk)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::MultipleDrivers { .. }));
+    }
+}

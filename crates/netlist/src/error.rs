@@ -1,0 +1,94 @@
+//! Error type for netlist construction.
+
+use crate::{FlopId, GateId, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while building or validating a [`Netlist`](crate::Netlist).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A net was driven by more than one source.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: NetId,
+    },
+    /// A gate was created with the wrong number of input nets.
+    ArityMismatch {
+        /// The offending gate.
+        gate: GateId,
+        /// Inputs the cell kind expects.
+        expected: usize,
+        /// Inputs that were supplied.
+        got: usize,
+    },
+    /// A net has no driver at `finish()` time.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+    },
+    /// The combinational portion of the netlist contains a cycle.
+    CombinationalLoop {
+        /// A net on the cycle.
+        net: NetId,
+    },
+    /// A referenced net id is out of range.
+    UnknownNet {
+        /// The invalid id.
+        net: NetId,
+    },
+    /// Two flops drive the same Q net or share a D net illegally.
+    FlopConflict {
+        /// The offending flop.
+        flop: FlopId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MultipleDrivers { net } => {
+                write!(f, "net {net} has multiple drivers")
+            }
+            BuildError::ArityMismatch { gate, expected, got } => {
+                write!(f, "gate {gate} expects {expected} inputs, got {got}")
+            }
+            BuildError::UndrivenNet { net } => write!(f, "net {net} has no driver"),
+            BuildError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net}")
+            }
+            BuildError::UnknownNet { net } => write!(f, "unknown net id {net}"),
+            BuildError::FlopConflict { flop } => {
+                write!(f, "flop {flop} conflicts with an existing driver")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            BuildError::MultipleDrivers { net: NetId::new(1) },
+            BuildError::ArityMismatch {
+                gate: GateId::new(2),
+                expected: 2,
+                got: 3,
+            },
+            BuildError::UndrivenNet { net: NetId::new(3) },
+            BuildError::CombinationalLoop { net: NetId::new(4) },
+            BuildError::UnknownNet { net: NetId::new(5) },
+            BuildError::FlopConflict { flop: FlopId::new(6) },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().is_some_and(|c| c.is_lowercase()));
+        }
+    }
+}

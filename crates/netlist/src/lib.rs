@@ -1,0 +1,61 @@
+//! Gate-level netlist infrastructure for the `scap-atpg` suite.
+//!
+//! This crate provides the structural substrate every other crate in the
+//! workspace builds on:
+//!
+//! * [`Logic`] — three-valued (`0`/`1`/`X`) signal values and cell
+//!   evaluation ([`CellKind::eval`]),
+//! * [`Library`] — a 180 nm-class standard-cell library model (pin
+//!   capacitance, intrinsic delay, drive resistance, area),
+//! * [`Netlist`] — a flat gate-level netlist with combinational gates,
+//!   scan-able flip-flops, hierarchical blocks and clock domains,
+//! * [`NetlistBuilder`] — incremental, validated construction,
+//! * [`Levelization`] — topological levels and cone extraction,
+//! * [`Floorplan`] — die geometry, block rectangles and cell placement.
+//!
+//! # Example
+//!
+//! ```
+//! use scap_netlist::{CellKind, Library, NetlistBuilder, ClockEdge, Logic};
+//!
+//! # fn main() -> Result<(), scap_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("demo");
+//! let blk = b.add_block("B1");
+//! let clk = b.add_clock_domain("clka", 100.0e6);
+//! let a = b.add_primary_input("a");
+//! let q = b.add_net("ff_q");
+//! let d = b.add_net("ff_d");
+//! let g = b.add_gate(CellKind::Nand2, &[a, q], d, blk)?;
+//! let _ff = b.add_flop("ff", d, q, clk, ClockEdge::Rising, blk)?;
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.gate(g).output, d);
+//! assert_eq!(CellKind::Nand2.eval(&[Logic::One, Logic::Zero]), Logic::One);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod cell;
+mod error;
+mod floorplan;
+mod ids;
+mod library;
+mod netlist;
+mod topo;
+mod value;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use cell::CellKind;
+pub use error::BuildError;
+pub use floorplan::{Die, Floorplan, Placement, Point, Rect};
+pub use ids::{BlockId, ClockId, FlopId, GateId, NetId};
+pub use library::{CellParams, Library};
+pub use netlist::{
+    Block, ClockDomain, ClockEdge, Flop, Gate, Net, NetSource, Netlist, ScanRole,
+};
+pub use topo::{Cone, Levelization};
+pub use value::Logic;

@@ -1,0 +1,231 @@
+//! Topological levelization and cone extraction.
+
+use crate::{FlopId, GateId, NetId, NetSource, Netlist};
+
+/// Topological levelization of the combinational gates of a netlist.
+///
+/// Level 0 gates read only primary inputs, constants or flop Q outputs;
+/// level *k* gates read at least one level *k−1* gate output. Iterating
+/// [`Levelization::order`] visits gates in a valid evaluation order.
+///
+/// # Example
+///
+/// ```
+/// use scap_netlist::{CellKind, ClockEdge, Levelization, NetlistBuilder};
+///
+/// # fn main() -> Result<(), scap_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("d");
+/// let blk = b.add_block("B1");
+/// let a = b.add_primary_input("a");
+/// let y = b.add_net("y");
+/// let z = b.add_net("z");
+/// b.add_gate(CellKind::Inv, &[a], y, blk)?;
+/// b.add_gate(CellKind::Inv, &[y], z, blk)?;
+/// let n = b.finish()?;
+/// let lv = Levelization::build(&n);
+/// assert_eq!(lv.max_level(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Levelization {
+    level: Vec<u32>,
+    order: Vec<GateId>,
+}
+
+impl Levelization {
+    /// Computes the levelization of `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop — impossible for
+    /// netlists produced by [`NetlistBuilder::finish`](crate::NetlistBuilder::finish).
+    pub fn build(netlist: &Netlist) -> Self {
+        let n = netlist.num_gates();
+        let mut level = vec![0u32; n];
+        let mut indeg = vec![0u32; n];
+        for (gi, g) in netlist.gates().iter().enumerate() {
+            for &inp in &g.inputs {
+                if let Some(NetSource::Gate(_)) = netlist.net(inp).source {
+                    indeg[gi] += 1;
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: std::collections::VecDeque<u32> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        while let Some(gi) = queue.pop_front() {
+            order.push(GateId::new(gi));
+            let out = netlist.gate(GateId::new(gi)).output;
+            for &succ in netlist.fanout_gates(out) {
+                let s = succ.index();
+                level[s] = level[s].max(level[gi as usize] + 1);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push_back(succ.raw());
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "combinational loop in levelization");
+        Levelization { level, order }
+    }
+
+    /// Topological level of a gate.
+    #[inline]
+    pub fn level(&self, gate: GateId) -> u32 {
+        self.level[gate.index()]
+    }
+
+    /// Gates in a valid (level-consistent) evaluation order.
+    #[inline]
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Maximum level (logic depth − 1), or 0 for an empty netlist.
+    pub fn max_level(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A transitive fanin or fanout cone of a net.
+#[derive(Clone, Debug, Default)]
+pub struct Cone {
+    /// Gates in the cone.
+    pub gates: Vec<GateId>,
+    /// Flops at the cone boundary (fanin: Q sources; fanout: D readers).
+    pub flops: Vec<FlopId>,
+    /// Primary inputs reached (fanin cones only).
+    pub primary_inputs: Vec<NetId>,
+}
+
+impl Cone {
+    /// Transitive fanin cone of `net`, stopping at flop Q outputs, primary
+    /// inputs and constants.
+    pub fn fanin(netlist: &Netlist, net: NetId) -> Self {
+        let mut cone = Cone::default();
+        let mut seen_net = vec![false; netlist.num_nets()];
+        let mut stack = vec![net];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen_net[n.index()], true) {
+                continue;
+            }
+            match netlist.net(n).source {
+                Some(NetSource::Gate(g)) => {
+                    cone.gates.push(g);
+                    stack.extend(netlist.gate(g).inputs.iter().copied());
+                }
+                Some(NetSource::Flop(f)) => cone.flops.push(f),
+                Some(NetSource::PrimaryInput) => cone.primary_inputs.push(n),
+                Some(NetSource::Const(_)) | None => {}
+            }
+        }
+        cone
+    }
+
+    /// Transitive fanout cone of `net`, stopping at flop D inputs and
+    /// primary outputs.
+    pub fn fanout(netlist: &Netlist, net: NetId) -> Self {
+        let mut cone = Cone::default();
+        let mut seen_net = vec![false; netlist.num_nets()];
+        let mut stack = vec![net];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen_net[n.index()], true) {
+                continue;
+            }
+            cone.flops.extend_from_slice(netlist.fanout_flops(n));
+            for &g in netlist.fanout_gates(n) {
+                cone.gates.push(g);
+                stack.push(netlist.gate(g).output);
+            }
+        }
+        // A net with heavy reconvergence can push duplicate gates: dedup.
+        cone.gates.sort_unstable();
+        cone.gates.dedup();
+        cone.flops.sort_unstable();
+        cone.flops.dedup();
+        cone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, ClockEdge, NetlistBuilder};
+
+    /// a --inv--> y --inv--> d --ff--> q --inv--> z(po)
+    fn chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        let d = b.add_net("d");
+        let q = b.add_net("q");
+        let z = b.add_net("z");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[y], d, blk).unwrap();
+        b.add_flop("ff", d, q, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[q], z, blk).unwrap();
+        b.add_primary_output(z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn levels_increase_along_paths() {
+        let n = chain();
+        let lv = Levelization::build(&n);
+        assert_eq!(lv.level(GateId::new(0)), 0);
+        assert_eq!(lv.level(GateId::new(1)), 1);
+        // Gate after the flop restarts at level 0.
+        assert_eq!(lv.level(GateId::new(2)), 0);
+        assert_eq!(lv.max_level(), 1);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let n = chain();
+        let lv = Levelization::build(&n);
+        let pos: Vec<usize> = (0..n.num_gates())
+            .map(|g| {
+                lv.order()
+                    .iter()
+                    .position(|&x| x == GateId::new(g as u32))
+                    .unwrap()
+            })
+            .collect();
+        assert!(pos[0] < pos[1]);
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_flop() {
+        let n = chain();
+        let z = n.primary_outputs()[0];
+        let cone = Cone::fanin(&n, z);
+        assert_eq!(cone.gates.len(), 1); // just the inverter after the flop
+        assert_eq!(cone.flops.len(), 1);
+        assert!(cone.primary_inputs.is_empty());
+    }
+
+    #[test]
+    fn fanin_cone_reaches_primary_inputs() {
+        let n = chain();
+        let d = n.flop(FlopId::new(0)).d;
+        let cone = Cone::fanin(&n, d);
+        assert_eq!(cone.gates.len(), 2);
+        assert_eq!(cone.primary_inputs.len(), 1);
+    }
+
+    #[test]
+    fn fanout_cone_collects_downstream() {
+        let n = chain();
+        let a = n.primary_inputs()[0];
+        let cone = Cone::fanout(&n, a);
+        assert_eq!(cone.gates.len(), 2); // two inverters before the flop
+        assert_eq!(cone.flops.len(), 1); // the flop D pin
+    }
+}

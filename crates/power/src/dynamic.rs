@@ -1,0 +1,392 @@
+//! Dynamic (per-pattern) IR-drop analysis (paper §2.4, Figure 3).
+//!
+//! The toggle trace of one pattern's launch-to-capture window is converted
+//! into per-cell average rail currents over the pattern's switching time
+//! window, stamped onto the power mesh and solved — the SOC Encounter
+//! dynamic-rail-analysis substitute. Rising edges load the VDD network,
+//! falling edges the VSS network, so a pattern full of rising activity
+//! stresses VDD harder than VSS, exactly as in the paper's Table 4.
+
+use crate::{GridConfig, PowerGrid};
+use scap_netlist::{BlockId, Floorplan, FlopId, GateId, Netlist, NetSource, Point};
+use scap_sim::ToggleTrace;
+use scap_timing::DelayAnnotation;
+use serde::{Deserialize, Serialize};
+
+/// The solved IR-drop map of one pattern.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IrDropMap {
+    /// Per-mesh-node VDD drop, V.
+    pub node_drop_vdd_v: Vec<f64>,
+    /// Per-mesh-node VSS bounce, V.
+    pub node_drop_vss_v: Vec<f64>,
+    gate_drop_vdd_v: Vec<f64>,
+    gate_drop_vss_v: Vec<f64>,
+    flop_drop_vdd_v: Vec<f64>,
+    flop_drop_vss_v: Vec<f64>,
+    nodes_per_side: usize,
+}
+
+impl IrDropMap {
+    /// VDD drop seen by a gate, V.
+    pub fn gate_drop_vdd(&self, g: GateId) -> f64 {
+        self.gate_drop_vdd_v[g.index()]
+    }
+
+    /// Total supply compression seen by a gate (VDD drop + ground bounce),
+    /// the ΔV that scales its delay.
+    pub fn gate_drop_total(&self, g: GateId) -> f64 {
+        self.gate_drop_vdd_v[g.index()] + self.gate_drop_vss_v[g.index()]
+    }
+
+    /// Total supply compression seen by a flop, V.
+    pub fn flop_drop_total(&self, f: FlopId) -> f64 {
+        self.flop_drop_vdd_v[f.index()] + self.flop_drop_vss_v[f.index()]
+    }
+
+    /// Per-gate total droop vector (for `scap_timing::scaling`).
+    pub fn gate_drops_total(&self) -> Vec<f64> {
+        self.gate_drop_vdd_v
+            .iter()
+            .zip(&self.gate_drop_vss_v)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    /// Per-flop total droop vector (for `scap_timing::scaling`).
+    pub fn flop_drops_total(&self) -> Vec<f64> {
+        self.flop_drop_vdd_v
+            .iter()
+            .zip(&self.flop_drop_vss_v)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    /// Worst VDD drop over the cells of a block, V.
+    pub fn worst_block_drop_vdd(&self, netlist: &Netlist, block: BlockId) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, g) in netlist.gates().iter().enumerate() {
+            if g.block == block {
+                worst = worst.max(self.gate_drop_vdd_v[i]);
+            }
+        }
+        for (i, f) in netlist.flops().iter().enumerate() {
+            if f.block == block {
+                worst = worst.max(self.flop_drop_vdd_v[i]);
+            }
+        }
+        worst
+    }
+
+    /// Worst VSS bounce over the cells of a block, V.
+    pub fn worst_block_drop_vss(&self, netlist: &Netlist, block: BlockId) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, g) in netlist.gates().iter().enumerate() {
+            if g.block == block {
+                worst = worst.max(self.gate_drop_vss_v[i]);
+            }
+        }
+        for (i, f) in netlist.flops().iter().enumerate() {
+            if f.block == block {
+                worst = worst.max(self.flop_drop_vss_v[i]);
+            }
+        }
+        worst
+    }
+
+    /// Worst VDD drop anywhere, V.
+    pub fn worst_drop_vdd(&self) -> f64 {
+        self.node_drop_vdd_v.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Worst VSS bounce anywhere, V.
+    pub fn worst_drop_vss(&self) -> f64 {
+        self.node_drop_vss_v.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Fraction of mesh nodes whose VDD drop exceeds `threshold_v` — the
+    /// "red region" of the paper's Figure 3 plots (10 % of VDD = 0.18 V).
+    pub fn red_fraction(&self, threshold_v: f64) -> f64 {
+        if self.node_drop_vdd_v.is_empty() {
+            return 0.0;
+        }
+        self.node_drop_vdd_v
+            .iter()
+            .filter(|&&d| d > threshold_v)
+            .count() as f64
+            / self.node_drop_vdd_v.len() as f64
+    }
+
+    /// An ASCII rendering of the VDD drop map (rows top-to-bottom), one
+    /// character per node: `.` <2.5 %, `-` <5 %, `+` <10 %, `#` ≥10 % of
+    /// `vdd`.
+    pub fn render_vdd_map(&self, vdd: f64) -> String {
+        let n = self.nodes_per_side;
+        let mut out = String::with_capacity(n * (n + 1));
+        for y in (0..n).rev() {
+            for x in 0..n {
+                let d = self.node_drop_vdd_v[y * n + x] / vdd;
+                out.push(if d >= 0.10 {
+                    '#'
+                } else if d >= 0.05 {
+                    '+'
+                } else if d >= 0.025 {
+                    '-'
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Dynamic IR-drop analyzer bound to a design.
+///
+/// # Example
+///
+/// ```no_run
+/// # use scap_netlist::{Netlist, Floorplan};
+/// # use scap_timing::DelayAnnotation;
+/// # use scap_sim::ToggleTrace;
+/// # fn demo(netlist: &Netlist, fp: &Floorplan, ann: &DelayAnnotation, trace: &ToggleTrace) {
+/// use scap_power::{DynamicAnalysis, GridConfig};
+/// let dyn_ir = DynamicAnalysis::new(netlist, fp, GridConfig::default());
+/// let map = dyn_ir.analyze(ann, trace);
+/// println!("worst VDD drop {:.3} V", map.worst_drop_vdd());
+/// print!("{}", map.render_vdd_map(netlist.library.vdd));
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DynamicAnalysis<'a> {
+    netlist: &'a Netlist,
+    floorplan: &'a Floorplan,
+    grid: PowerGrid,
+}
+
+impl<'a> DynamicAnalysis<'a> {
+    /// Builds the analyzer (constructs the mesh once; reuse across
+    /// patterns).
+    pub fn new(netlist: &'a Netlist, floorplan: &'a Floorplan, grid: GridConfig) -> Self {
+        DynamicAnalysis {
+            netlist,
+            floorplan,
+            grid: PowerGrid::new(floorplan.die, grid),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn grid(&self) -> &PowerGrid {
+        &self.grid
+    }
+
+    /// Solves the IR-drop of one pattern's trace, averaging the switching
+    /// charge over the pattern's STW (the paper's SCAP model).
+    pub fn analyze(&self, annotation: &DelayAnnotation, trace: &ToggleTrace) -> IrDropMap {
+        self.analyze_windowed(annotation, trace, trace.stw_ps())
+    }
+
+    /// Like [`DynamicAnalysis::analyze`] but averages the charge over an
+    /// explicit window — pass the full tester cycle to reproduce the CAP
+    /// model's (underestimated) IR-drop of the paper's Table 4.
+    pub fn analyze_windowed(
+        &self,
+        annotation: &DelayAnnotation,
+        trace: &ToggleTrace,
+        window_ps: f64,
+    ) -> IrDropMap {
+        let n = self.netlist;
+        let vdd = n.library.vdd;
+        let stw = window_ps.max(1.0);
+        let counts = trace.toggle_counts(n.num_nets());
+        let mut gate_i_vdd = vec![0.0f64; n.num_gates()];
+        let mut gate_i_vss = vec![0.0f64; n.num_gates()];
+        let mut flop_i_vdd = vec![0.0f64; n.num_flops()];
+        let mut flop_i_vss = vec![0.0f64; n.num_flops()];
+        for (i, net) in n.nets().iter().enumerate() {
+            let (rise, fall) = counts[i];
+            if rise == 0 && fall == 0 {
+                continue;
+            }
+            let cap = annotation.net_total_cap_ff(scap_netlist::NetId::new(i as u32));
+            // Average current over the STW: Q = C·V per toggle; fF·V/ps = mA.
+            let i_vdd = rise as f64 * cap * vdd / stw * 1e-3;
+            let i_vss = fall as f64 * cap * vdd / stw * 1e-3;
+            match net.source {
+                Some(NetSource::Gate(g)) => {
+                    gate_i_vdd[g.index()] += i_vdd;
+                    gate_i_vss[g.index()] += i_vss;
+                }
+                Some(NetSource::Flop(f)) => {
+                    flop_i_vdd[f.index()] += i_vdd;
+                    flop_i_vss[f.index()] += i_vss;
+                }
+                _ => {}
+            }
+        }
+        let node_vdd = self
+            .grid
+            .stamp(n, self.floorplan, &gate_i_vdd, &flop_i_vdd);
+        let node_vss = self
+            .grid
+            .stamp(n, self.floorplan, &gate_i_vss, &flop_i_vss);
+        let node_drop_vdd_v = self.grid.solve(&node_vdd);
+        let node_drop_vss_v = self.grid.solve(&node_vss);
+        let sample = |drops: &[f64], p: Point| drops[self.grid.node_of(p)];
+        let gate_drop_vdd_v: Vec<f64> = (0..n.num_gates())
+            .map(|i| sample(&node_drop_vdd_v, self.floorplan.placement.gate(GateId::new(i as u32))))
+            .collect();
+        let gate_drop_vss_v: Vec<f64> = (0..n.num_gates())
+            .map(|i| sample(&node_drop_vss_v, self.floorplan.placement.gate(GateId::new(i as u32))))
+            .collect();
+        let flop_drop_vdd_v: Vec<f64> = (0..n.num_flops())
+            .map(|i| sample(&node_drop_vdd_v, self.floorplan.placement.flop(FlopId::new(i as u32))))
+            .collect();
+        let flop_drop_vss_v: Vec<f64> = (0..n.num_flops())
+            .map(|i| sample(&node_drop_vss_v, self.floorplan.placement.flop(FlopId::new(i as u32))))
+            .collect();
+        IrDropMap {
+            node_drop_vdd_v,
+            node_drop_vss_v,
+            gate_drop_vdd_v,
+            gate_drop_vss_v,
+            flop_drop_vdd_v,
+            flop_drop_vss_v,
+            nodes_per_side: self.grid.nodes_per_side(),
+        }
+    }
+
+    /// Samples the solved VDD-drop map at an arbitrary die location — used
+    /// to retime clock-tree buffers.
+    pub fn drop_at(&self, map: &IrDropMap, p: Point) -> f64 {
+        map.node_drop_vdd_v[self.grid.node_of(p)] + map.node_drop_vss_v[self.grid.node_of(p)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_netlist::{CellKind, ClockEdge, Die, NetId, NetlistBuilder, Placement, Rect};
+    use scap_sim::{ToggleEvent, ToggleTrace};
+
+    fn single_gate_design(at: Point) -> (Netlist, Floorplan) {
+        let mut b = NetlistBuilder::new("d");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 50e6);
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        let q = b.add_net("q");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        b.add_flop("ff", y, q, clk, ClockEdge::Rising, blk).unwrap();
+        let n = b.finish().unwrap();
+        let fp = Floorplan::new(
+            &n,
+            Die::square(1000.0),
+            vec![Rect::new(0.0, 0.0, 1000.0, 1000.0)],
+            Placement::new(vec![at], vec![at]),
+        );
+        (n, fp)
+    }
+
+    fn trace_on(net: NetId, toggles: usize, rising: bool) -> ToggleTrace {
+        let mut t = ToggleTrace::default();
+        for k in 0..toggles {
+            t.events.push(ToggleEvent {
+                time_ps: 100.0 * (k + 1) as f64,
+                net,
+                rising: if toggles > 1 { k % 2 == (!rising) as usize } else { rising },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn more_toggles_mean_deeper_drop() {
+        let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig {
+            branch_resistance_ohm: 50.0,
+            ..GridConfig::default()
+        });
+        let y = NetId::new(1);
+        // One toggle over a 900 ps window vs 9 toggles over the same
+        // window: 9x the average current density.
+        let mut t1 = ToggleTrace::default();
+        t1.events.push(ToggleEvent {
+            time_ps: 900.0,
+            net: y,
+            rising: true,
+        });
+        let m1 = dynir.analyze(&ann, &t1);
+        let mut t9 = ToggleTrace::default();
+        for k in 0..9 {
+            t9.events.push(ToggleEvent {
+                time_ps: 100.0 * (k + 1) as f64,
+                net: y,
+                rising: k % 2 == 0,
+            });
+        }
+        let m9 = dynir.analyze(&ann, &t9);
+        assert!(m9.worst_drop_vdd() > m1.worst_drop_vdd());
+    }
+
+    #[test]
+    fn rising_only_trace_loads_vdd_not_vss() {
+        let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig {
+            branch_resistance_ohm: 50.0,
+            ..GridConfig::default()
+        });
+        let m = dynir.analyze(&ann, &trace_on(NetId::new(1), 1, true));
+        assert!(m.worst_drop_vdd() > 0.0);
+        assert_eq!(m.worst_drop_vss(), 0.0);
+        assert!(m.gate_drop_total(GateId::new(0)) > 0.0);
+    }
+
+    #[test]
+    fn center_activity_drops_more_than_edge_activity() {
+        let cfg = GridConfig {
+            branch_resistance_ohm: 50.0,
+            ..GridConfig::default()
+        };
+        let (nc, fc) = single_gate_design(Point::new(500.0, 500.0));
+        let annc = DelayAnnotation::extract(&nc, &fc);
+        let dc = DynamicAnalysis::new(&nc, &fc, cfg);
+        let mc = dc.analyze(&annc, &trace_on(NetId::new(1), 1, true));
+        let (ne, fe) = single_gate_design(Point::new(15.0, 15.0));
+        let anne = DelayAnnotation::extract(&ne, &fe);
+        let de = DynamicAnalysis::new(&ne, &fe, cfg);
+        let me = de.analyze(&anne, &trace_on(NetId::new(1), 1, true));
+        assert!(mc.worst_drop_vdd() > me.worst_drop_vdd());
+    }
+
+    #[test]
+    fn block_reduction_and_render() {
+        let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig {
+            branch_resistance_ohm: 100.0,
+            ..GridConfig::default()
+        });
+        let m = dynir.analyze(&ann, &trace_on(NetId::new(1), 1, true));
+        let b = scap_netlist::BlockId::new(0);
+        assert!(m.worst_block_drop_vdd(&n, b) > 0.0);
+        assert_eq!(m.worst_block_drop_vss(&n, b), 0.0);
+        let art = m.render_vdd_map(n.library.vdd);
+        assert_eq!(art.lines().count(), dynir.grid().nodes_per_side());
+        assert!(m.red_fraction(0.0) <= 1.0);
+    }
+
+    #[test]
+    fn quiescent_trace_has_no_drop() {
+        let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig::default());
+        let m = dynir.analyze(&ann, &ToggleTrace::default());
+        assert_eq!(m.worst_drop_vdd(), 0.0);
+        assert_eq!(m.worst_drop_vss(), 0.0);
+        assert_eq!(m.red_fraction(0.18), 0.0);
+    }
+}

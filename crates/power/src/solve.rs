@@ -1,0 +1,252 @@
+//! Sparse SPD linear solve by Jacobi-preconditioned conjugate gradient.
+
+/// A sparse symmetric positive-definite matrix in CSR-lite form, built by
+/// the grid module.
+#[derive(Clone, Debug)]
+pub(crate) struct SparseSpd {
+    /// Row start offsets into `cols`/`vals`, length `n + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<f64>,
+    /// Diagonal, for the Jacobi preconditioner.
+    pub diag: Vec<f64>,
+}
+
+impl SparseSpd {
+    pub(crate) fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn mul(&self, x: &[f64], y: &mut [f64]) {
+        for (i, out) in y.iter_mut().enumerate().take(self.n()) {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                acc += self.vals[k] * x[self.cols[k] as usize];
+            }
+            *out = acc;
+        }
+    }
+}
+
+/// Solves `A·x = b` for SPD `A` by preconditioned conjugate gradient.
+///
+/// Iterates until the residual 2-norm falls below `tol · max(‖b‖, ε)` or
+/// `max_iter` iterations. Returns the solution (best effort if the
+/// iteration cap is hit — adequate for IR-drop maps, which are consumed
+/// qualitatively).
+pub(crate) fn solve_spd(a: &SparseSpd, b: &[f64], tol: f64, max_iter: usize) -> Vec<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r
+        .iter()
+        .zip(&a.diag)
+        .map(|(ri, di)| ri / di.max(1e-30))
+        .collect();
+    let mut p = z.clone();
+    let mut ap = vec![0.0; n];
+    let b_norm = dot(b, b).sqrt().max(1e-30);
+    let mut rz = dot(&r, &z);
+    for _ in 0..max_iter {
+        if dot(&r, &r).sqrt() <= tol * b_norm {
+            break;
+        }
+        a.mul(&p, &mut ap);
+        let p_ap = dot(&p, &ap);
+        if p_ap.abs() < 1e-300 {
+            break;
+        }
+        let alpha = rz / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] / a.diag[i].max(1e-30);
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz.max(1e-300);
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    x
+}
+
+/// Public convenience wrapper: solves a Laplacian-style SPD system given in
+/// triplet form `(i, j, g)` of branch conductances plus Dirichlet nodes
+/// pinned to zero. Used directly by tests and available for custom grids.
+///
+/// `num_nodes` is the total node count; `pinned[i] = true` marks nodes held
+/// at 0 (pads). `injection[i]` is the current drawn at node `i` (A).
+/// Returns the voltage drop at every node (0 at pads).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or no node is pinned.
+pub fn solve_cg(
+    num_nodes: usize,
+    branches: &[(u32, u32, f64)],
+    pinned: &[bool],
+    injection: &[f64],
+) -> Vec<f64> {
+    assert_eq!(pinned.len(), num_nodes);
+    assert_eq!(injection.len(), num_nodes);
+    assert!(pinned.iter().any(|&p| p), "at least one pad node required");
+    // Map free nodes to a compact index space.
+    let mut index = vec![u32::MAX; num_nodes];
+    let mut free = 0u32;
+    for i in 0..num_nodes {
+        if !pinned[i] {
+            index[i] = free;
+            free += 1;
+        }
+    }
+    let nf = free as usize;
+    // Assemble the reduced Laplacian.
+    let mut diag = vec![0.0f64; nf];
+    let mut off: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nf];
+    for &(a, b, g) in branches {
+        let (a, b) = (a as usize, b as usize);
+        match (pinned[a], pinned[b]) {
+            (false, false) => {
+                let (ia, ib) = (index[a] as usize, index[b] as usize);
+                diag[ia] += g;
+                diag[ib] += g;
+                off[ia].push((ib as u32, -g));
+                off[ib].push((ia as u32, -g));
+            }
+            (false, true) => diag[index[a] as usize] += g,
+            (true, false) => diag[index[b] as usize] += g,
+            (true, true) => {}
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(nf + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0u32);
+    for i in 0..nf {
+        cols.push(i as u32);
+        vals.push(diag[i]);
+        for &(c, v) in &off[i] {
+            cols.push(c);
+            vals.push(v);
+        }
+        row_ptr.push(cols.len() as u32);
+    }
+    let a = SparseSpd {
+        row_ptr,
+        cols,
+        vals,
+        diag,
+    };
+    let b: Vec<f64> = (0..num_nodes)
+        .filter(|&i| !pinned[i])
+        .map(|i| injection[i])
+        .collect();
+    let x = solve_spd(&a, &b, 1e-8, 4 * nf + 64);
+    let mut out = vec![0.0; num_nodes];
+    for i in 0..num_nodes {
+        if !pinned[i] {
+            out[i] = x[index[i] as usize];
+        }
+    }
+    out
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two resistors in series: pad -- R -- n1 -- R -- n2, draw I at n2.
+    /// Drop at n1 = I·R, at n2 = 2·I·R.
+    #[test]
+    fn series_resistor_ladder() {
+        let g = 1.0 / 10.0; // 10 Ω branches
+        let drops = solve_cg(
+            3,
+            &[(0, 1, g), (1, 2, g)],
+            &[true, false, false],
+            &[0.0, 0.0, 0.05],
+        );
+        assert!((drops[0] - 0.0).abs() < 1e-9);
+        assert!((drops[1] - 0.5).abs() < 1e-6, "{}", drops[1]);
+        assert!((drops[2] - 1.0).abs() < 1e-6, "{}", drops[2]);
+    }
+
+    /// Symmetric two-pad ladder: drop at the middle is I·R/2 (parallel
+    /// paths to both pads).
+    #[test]
+    fn parallel_paths_halve_the_drop() {
+        let g = 1.0; // 1 Ω branches
+        let drops = solve_cg(
+            3,
+            &[(0, 1, g), (1, 2, g)],
+            &[true, false, true],
+            &[0.0, 1.0, 0.0],
+        );
+        assert!((drops[1] - 0.5).abs() < 1e-6);
+    }
+
+    /// Superposition: doubling the current doubles every drop (linearity).
+    #[test]
+    fn solution_is_linear_in_current() {
+        let branches: Vec<(u32, u32, f64)> = (0..9)
+            .flat_map(|i| {
+                let mut v = Vec::new();
+                let (x, y) = (i % 3, i / 3);
+                if x < 2 {
+                    v.push((i, i + 1, 0.5));
+                }
+                if y < 2 {
+                    v.push((i, i + 3, 0.5));
+                }
+                v
+            })
+            .collect();
+        let mut pinned = vec![false; 9];
+        pinned[0] = true;
+        pinned[8] = true;
+        let mut inj = vec![0.0; 9];
+        inj[4] = 0.1;
+        let d1 = solve_cg(9, &branches, &pinned, &inj);
+        inj[4] = 0.2;
+        let d2 = solve_cg(9, &branches, &pinned, &inj);
+        for i in 0..9 {
+            assert!((d2[i] - 2.0 * d1[i]).abs() < 1e-6, "node {i}");
+        }
+    }
+
+    /// Conservation sanity: all drops are non-negative for non-negative
+    /// injections (current only flows out of the grid at pads).
+    #[test]
+    fn drops_are_nonnegative() {
+        let branches = vec![(0u32, 1u32, 2.0), (1, 2, 2.0), (2, 3, 2.0)];
+        let drops = solve_cg(
+            4,
+            &branches,
+            &[true, false, false, false],
+            &[0.0, 0.3, 0.0, 0.1],
+        );
+        for (i, d) in drops.iter().enumerate() {
+            assert!(*d >= -1e-9, "node {i}: {d}");
+        }
+        // Monotone along the chain away from the single pad.
+        assert!(drops[1] <= drops[2] + 1e-9);
+        assert!(drops[2] <= drops[3] + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pad")]
+    fn requires_a_pad() {
+        let _ = solve_cg(2, &[(0, 1, 1.0)], &[false, false], &[0.0, 1.0]);
+    }
+}

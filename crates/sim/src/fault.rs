@@ -1,0 +1,271 @@
+//! Transition-delay-fault model: sites, polarities, fault lists and
+//! structural collapsing.
+
+use scap_netlist::{BlockId, GateId, NetId, NetSource, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Where a fault lives: on a net stem or on one gate input pin (branch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// The stem of a net (covers the driver output pin).
+    Net(NetId),
+    /// A specific input pin of a gate; the observed signal is the net
+    /// feeding that pin but the delay defect only affects this branch.
+    Pin {
+        /// The reading gate.
+        gate: GateId,
+        /// Input pin index within the gate.
+        pin: u8,
+    },
+}
+
+impl FaultSite {
+    /// The net whose logic value excites the fault.
+    pub fn net(self, netlist: &Netlist) -> NetId {
+        match self {
+            FaultSite::Net(n) => n,
+            FaultSite::Pin { gate, pin } => netlist.gate(gate).inputs[pin as usize],
+        }
+    }
+}
+
+/// Transition polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Slow-to-rise: the site fails to reach 1 in time. Launch 0→1.
+    SlowToRise,
+    /// Slow-to-fall: the site fails to reach 0 in time. Launch 1→0.
+    SlowToFall,
+}
+
+impl Polarity {
+    /// The value the site holds *before* the transition (frame 1), which is
+    /// also the stuck value the slow signal presents in frame 2.
+    #[inline]
+    pub const fn initial_value(self) -> bool {
+        matches!(self, Polarity::SlowToFall)
+    }
+    /// The value the site must reach in frame 2 (the good-machine value).
+    #[inline]
+    pub const fn final_value(self) -> bool {
+        matches!(self, Polarity::SlowToRise)
+    }
+
+    /// Both polarities.
+    pub const BOTH: [Polarity; 2] = [Polarity::SlowToRise, Polarity::SlowToFall];
+}
+
+/// One transition delay fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TransitionFault {
+    /// The defect location.
+    pub site: FaultSite,
+    /// Slow-to-rise or slow-to-fall.
+    pub polarity: Polarity,
+}
+
+impl TransitionFault {
+    /// Creates a fault.
+    pub const fn new(site: FaultSite, polarity: Polarity) -> Self {
+        TransitionFault { site, polarity }
+    }
+
+    /// The block owning the faulty cell (the fault site's driver for stems,
+    /// the reading gate for pins). Faults on primary-input nets report
+    /// `None`.
+    pub fn block(&self, netlist: &Netlist) -> Option<BlockId> {
+        match self.site {
+            FaultSite::Pin { gate, .. } => Some(netlist.gate(gate).block),
+            FaultSite::Net(n) => match netlist.net(n).source {
+                Some(NetSource::Gate(g)) => Some(netlist.gate(g).block),
+                Some(NetSource::Flop(f)) => Some(netlist.flop(f).block),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// A fault universe with collapse bookkeeping.
+///
+/// Uncollapsed counting follows industrial practice (two faults per cell
+/// terminal); structural collapsing drops branch faults on single-fanout
+/// nets (equivalent to the stem) so ATPG and fault simulation work on the
+/// smaller set while coverage is still reported against the full universe.
+///
+/// # Example
+///
+/// ```no_run
+/// # use scap_netlist::Netlist;
+/// # fn demo(netlist: &Netlist) {
+/// use scap_sim::FaultList;
+/// let faults = FaultList::full(netlist);
+/// println!("{} uncollapsed, {} collapsed", faults.uncollapsed_count(), faults.faults().len());
+/// # }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultList {
+    faults: Vec<TransitionFault>,
+    uncollapsed: usize,
+}
+
+impl FaultList {
+    /// Builds the full transition-fault universe of a netlist: two faults
+    /// per driven net stem plus two per branch pin of multi-fanout nets.
+    pub fn full(netlist: &Netlist) -> Self {
+        let mut faults = Vec::new();
+        let mut uncollapsed = 0usize;
+        for (i, _net) in netlist.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            // Constant nets cannot host transitions.
+            if matches!(netlist.net(id).source, Some(NetSource::Const(_))) {
+                continue;
+            }
+            let readers = netlist.fanout_gates(id).len() + netlist.fanout_flops(id).len();
+            if readers == 0 && !netlist.primary_outputs().contains(&id) {
+                // Dangling net: unobservable, still counted as faults in
+                // the universe (they exist on silicon) but not targeted.
+                continue;
+            }
+            uncollapsed += 2; // stem
+            for p in Polarity::BOTH {
+                faults.push(TransitionFault::new(FaultSite::Net(id), p));
+            }
+            // Branch faults: one per reading gate pin; collapse when the
+            // net has a single reader (branch ≡ stem).
+            let multi = readers > 1;
+            for &g in netlist.fanout_gates(id) {
+                for (pin, &inp) in netlist.gate(g).inputs.iter().enumerate() {
+                    if inp == id {
+                        uncollapsed += 2;
+                        if multi {
+                            for p in Polarity::BOTH {
+                                faults.push(TransitionFault::new(
+                                    FaultSite::Pin { gate: g, pin: pin as u8 },
+                                    p,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // Flop D pins count toward the uncollapsed universe but are
+            // equivalent to the stem for detection purposes.
+            uncollapsed += 2 * netlist.fanout_flops(id).len();
+        }
+        FaultList { faults, uncollapsed }
+    }
+
+    /// Builds the fault list restricted to cells of the given blocks
+    /// (the per-block targeting of the paper's staged procedure).
+    pub fn for_blocks(netlist: &Netlist, blocks: &[BlockId]) -> Self {
+        let all = Self::full(netlist);
+        let keep: Vec<TransitionFault> = all
+            .faults
+            .iter()
+            .copied()
+            .filter(|f| f.block(netlist).is_some_and(|b| blocks.contains(&b)))
+            .collect();
+        let ratio = if all.faults.is_empty() {
+            0.0
+        } else {
+            keep.len() as f64 / all.faults.len() as f64
+        };
+        let uncollapsed = (all.uncollapsed as f64 * ratio).round() as usize;
+        FaultList {
+            faults: keep,
+            uncollapsed,
+        }
+    }
+
+    /// Builds a list from an explicit fault set (e.g. a filtered subset of
+    /// another list). `uncollapsed` is carried through for reporting.
+    pub fn from_faults(faults: Vec<TransitionFault>, uncollapsed: usize) -> Self {
+        FaultList { faults, uncollapsed }
+    }
+
+    /// Collapsed faults, the working set for ATPG and fault simulation.
+    pub fn faults(&self) -> &[TransitionFault] {
+        &self.faults
+    }
+
+    /// Size of the uncollapsed universe (the number the paper's Table 1
+    /// reports).
+    pub fn uncollapsed_count(&self) -> usize {
+        self.uncollapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_netlist::{CellKind, ClockEdge, NetlistBuilder};
+
+    fn fanout_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        let blk = b.add_block("B1");
+        let blk2 = b.add_block("B2");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        let z1 = b.add_net("z1");
+        let z2 = b.add_net("z2");
+        let q = b.add_net("q");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        b.add_gate(CellKind::Buf, &[y], z1, blk).unwrap();
+        b.add_gate(CellKind::Buf, &[y], z2, blk2).unwrap();
+        b.add_flop("ff", z1, q, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_primary_output(z2);
+        b.add_primary_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_list_has_branch_faults_only_on_fanout_stems() {
+        let n = fanout_netlist();
+        let fl = FaultList::full(&n);
+        let pin_faults: Vec<_> = fl
+            .faults()
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::Pin { .. }))
+            .collect();
+        // Only net y has two gate readers.
+        assert_eq!(pin_faults.len(), 4);
+        for f in pin_faults {
+            assert_eq!(f.site.net(&n), n.gate(GateId::new(1)).inputs[0]);
+        }
+    }
+
+    #[test]
+    fn uncollapsed_exceeds_collapsed() {
+        let n = fanout_netlist();
+        let fl = FaultList::full(&n);
+        assert!(fl.uncollapsed_count() > fl.faults().len());
+    }
+
+    #[test]
+    fn per_block_filter_keeps_only_matching_cells() {
+        let n = fanout_netlist();
+        let b2 = BlockId::new(1);
+        let fl = FaultList::for_blocks(&n, &[b2]);
+        assert!(!fl.faults().is_empty());
+        for f in fl.faults() {
+            assert_eq!(f.block(&n), Some(b2));
+        }
+    }
+
+    #[test]
+    fn polarity_values() {
+        assert!(Polarity::SlowToRise.final_value());
+        assert!(!Polarity::SlowToFall.final_value());
+        assert!(!Polarity::SlowToRise.initial_value());
+        assert!(Polarity::SlowToFall.initial_value());
+    }
+
+    #[test]
+    fn fault_site_net_resolution() {
+        let n = fanout_netlist();
+        let g = GateId::new(1);
+        let site = FaultSite::Pin { gate: g, pin: 0 };
+        assert_eq!(site.net(&n), n.gate(g).inputs[0]);
+    }
+}

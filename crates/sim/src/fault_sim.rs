@@ -1,0 +1,450 @@
+//! PPSFP (parallel-pattern single-fault propagation) transition-fault
+//! simulation under launch-off-capture.
+//!
+//! Detection criterion (the standard transition-fault approximation): the
+//! pattern must *launch* the target transition at the fault site (frame 1
+//! value = initial, frame 2 good value = final) and the corresponding
+//! stuck-at-initial-value fault must propagate in frame 2 to an observed
+//! capture point (a D pin of an active-domain flop — primary outputs are
+//! not measured, per the paper's low-cost-tester setup).
+
+use crate::loc::{loc_frames_batch, los_frames_batch, BatchFrames};
+use crate::{BatchSim, FaultSite, TransitionFault};
+use crate::Polarity;
+use scap_netlist::{ClockId, GateId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// How the second frame of a transition-fault pattern is launched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LaunchMode {
+    /// Launch-off-capture (broadside): frame 2 is the combinational
+    /// response of the load (the paper's method).
+    Capture,
+    /// Launch-off-shift (skewed-load): frame 2 is the load shifted one
+    /// position along every scan chain, scan-in tied to 0. Needs an
+    /// at-speed scan-enable (paper §1.1).
+    Shift,
+}
+
+/// Result of simulating a pattern batch against a fault list.
+#[derive(Clone, Debug, Default)]
+pub struct DetectionSummary {
+    /// For each fault (same order as the input list): a bitmask of the
+    /// patterns in the batch that detect it (0 = undetected).
+    pub detect_mask: Vec<u64>,
+}
+
+impl DetectionSummary {
+    /// Number of faults detected by at least one pattern.
+    pub fn num_detected(&self) -> usize {
+        self.detect_mask.iter().filter(|&&m| m != 0).count()
+    }
+}
+
+/// Transition-fault simulator bound to one netlist and active clock domain.
+///
+/// # Example
+///
+/// ```no_run
+/// # use scap_netlist::{Netlist, ClockId};
+/// # fn demo(netlist: &Netlist) {
+/// use scap_sim::{FaultList, TransitionFaultSim};
+/// let faults = FaultList::full(netlist);
+/// let sim = TransitionFaultSim::new(netlist, ClockId::new(0));
+/// // 64 patterns, all-zero loads and PIs:
+/// let loads = vec![0u64; netlist.num_flops()];
+/// let pis = vec![0u64; netlist.primary_inputs().len()];
+/// let summary = sim.detect_batch(&loads, &pis, !0, faults.faults());
+/// println!("{} faults detected", summary.num_detected());
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TransitionFaultSim<'a> {
+    batch: BatchSim<'a>,
+    active_clock: ClockId,
+    mode: LaunchMode,
+    /// Level of the gate driving each net (+1); 0 for source nets.
+    net_level: Vec<u32>,
+    /// Whether each net is a capture observation point.
+    observed: Vec<bool>,
+}
+
+impl<'a> TransitionFaultSim<'a> {
+    /// Builds a launch-off-capture simulator for `active_clock`'s flops.
+    pub fn new(netlist: &'a Netlist, active_clock: ClockId) -> Self {
+        Self::with_mode(netlist, active_clock, LaunchMode::Capture)
+    }
+
+    /// Builds a simulator with an explicit launch mode.
+    pub fn with_mode(netlist: &'a Netlist, active_clock: ClockId, mode: LaunchMode) -> Self {
+        let batch = BatchSim::new(netlist);
+        let lv = batch.levelization();
+        let mut net_level = vec![0u32; netlist.num_nets()];
+        for &g in lv.order() {
+            net_level[netlist.gate(g).output.index()] = lv.level(g) + 1;
+        }
+        let mut observed = vec![false; netlist.num_nets()];
+        for f in netlist.flops() {
+            if f.clock == active_clock {
+                observed[f.d.index()] = true;
+            }
+        }
+        TransitionFaultSim {
+            batch,
+            active_clock,
+            mode,
+            net_level,
+            observed,
+        }
+    }
+
+    /// The underlying batch simulator (for callers that also need good
+    /// frames).
+    pub fn batch_sim(&self) -> &BatchSim<'a> {
+        &self.batch
+    }
+
+    /// Computes launch frames for a batch of up to 64 fully-specified
+    /// loads under the configured mode.
+    pub fn frames(&self, load: &[u64], pi: &[u64]) -> BatchFrames {
+        match self.mode {
+            LaunchMode::Capture => loc_frames_batch(&self.batch, load, pi, self.active_clock),
+            LaunchMode::Shift => los_frames_batch(&self.batch, load, pi, 0),
+        }
+    }
+
+    /// Simulates `faults` against up to 64 patterns.
+    ///
+    /// `valid_mask` has one bit per real pattern (use `!0` for a full
+    /// batch). Returns a per-fault mask of detecting patterns.
+    pub fn detect_batch(
+        &self,
+        load: &[u64],
+        pi: &[u64],
+        valid_mask: u64,
+        faults: &[TransitionFault],
+    ) -> DetectionSummary {
+        let frames = self.frames(load, pi);
+        let mut summary = DetectionSummary {
+            detect_mask: Vec::with_capacity(faults.len()),
+        };
+        let mut scratch = PropagationScratch::new(self.batch.netlist().num_nets());
+        for fault in faults {
+            let mask = self.detect_one(&frames, valid_mask, *fault, &mut scratch);
+            summary.detect_mask.push(mask);
+        }
+        summary
+    }
+
+    /// Detection mask of one fault against precomputed frames.
+    pub fn detect_one(
+        &self,
+        frames: &BatchFrames,
+        valid_mask: u64,
+        fault: TransitionFault,
+        scratch: &mut PropagationScratch,
+    ) -> u64 {
+        let netlist = self.batch.netlist();
+        let site_net = fault.site.net(netlist);
+        let v1 = frames.frame1[site_net.index()];
+        let v2 = frames.frame2[site_net.index()];
+        let launch = match fault.polarity {
+            Polarity::SlowToRise => !v1 & v2,
+            Polarity::SlowToFall => v1 & !v2,
+        } & valid_mask;
+        if launch == 0 {
+            return 0;
+        }
+        scratch.reset();
+        let mut detected = 0u64;
+        match fault.site {
+            FaultSite::Net(n) => {
+                scratch.seed(n.index(), launch);
+                if self.observed[n.index()] {
+                    detected |= launch;
+                }
+                for &g in netlist.fanout_gates(n) {
+                    scratch.enqueue(self.gate_key(g));
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                // Flip only this branch: evaluate the gate with the pin's
+                // word complemented on launched bits.
+                let g = netlist.gate(gate);
+                let mut ins = [0u64; 4];
+                for (k, &inp) in g.inputs.iter().enumerate() {
+                    ins[k] = frames.frame2[inp.index()];
+                }
+                ins[pin as usize] ^= launch;
+                let faulty = g.kind.eval_word(&ins[..g.inputs.len()]);
+                let diff = (faulty ^ frames.frame2[g.output.index()]) & valid_mask;
+                if diff == 0 {
+                    return 0;
+                }
+                scratch.seed(g.output.index(), diff);
+                if self.observed[g.output.index()] {
+                    detected |= diff;
+                }
+                for &succ in netlist.fanout_gates(g.output) {
+                    scratch.enqueue(self.gate_key(succ));
+                }
+            }
+        }
+        // Level-ordered propagation: each gate is evaluated after all its
+        // in-cone predecessors.
+        while let Some(g) = scratch.pop() {
+            let gate = netlist.gate(g);
+            let mut ins = [0u64; 4];
+            for (k, &inp) in gate.inputs.iter().enumerate() {
+                ins[k] = frames.frame2[inp.index()] ^ scratch.diff(inp.index());
+            }
+            let faulty = gate.kind.eval_word(&ins[..gate.inputs.len()]);
+            let out = gate.output.index();
+            let diff = (faulty ^ frames.frame2[out]) & valid_mask;
+            if diff != 0 {
+                scratch.seed(out, diff);
+                if self.observed[out] {
+                    detected |= diff;
+                }
+                for &succ in netlist.fanout_gates(gate.output) {
+                    scratch.enqueue(self.gate_key(succ));
+                }
+            }
+        }
+        detected
+    }
+
+    /// Like [`TransitionFaultSim::detect_one`] but also returns, for each
+    /// observation point the fault reaches, the mask of patterns whose
+    /// capture would mismatch — the fault's *failure signature*. Used by
+    /// diagnosis.
+    pub fn signature_one(
+        &self,
+        frames: &BatchFrames,
+        valid_mask: u64,
+        fault: TransitionFault,
+        scratch: &mut PropagationScratch,
+    ) -> Vec<(scap_netlist::NetId, u64)> {
+        // Re-run the propagation, collecting observed diffs rather than
+        // OR-ing them together.
+        let netlist = self.batch.netlist();
+        let site_net = fault.site.net(netlist);
+        let v1 = frames.frame1[site_net.index()];
+        let v2 = frames.frame2[site_net.index()];
+        let launch = match fault.polarity {
+            Polarity::SlowToRise => !v1 & v2,
+            Polarity::SlowToFall => v1 & !v2,
+        } & valid_mask;
+        if launch == 0 {
+            return Vec::new();
+        }
+        scratch.reset();
+        let mut signature = Vec::new();
+        match fault.site {
+            FaultSite::Net(n) => {
+                scratch.seed(n.index(), launch);
+                if self.observed[n.index()] {
+                    signature.push((n, launch));
+                }
+                for &g in netlist.fanout_gates(n) {
+                    scratch.enqueue(self.gate_key(g));
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                let g = netlist.gate(gate);
+                let mut ins = [0u64; 4];
+                for (k, &inp) in g.inputs.iter().enumerate() {
+                    ins[k] = frames.frame2[inp.index()];
+                }
+                ins[pin as usize] ^= launch;
+                let faulty = g.kind.eval_word(&ins[..g.inputs.len()]);
+                let diff = (faulty ^ frames.frame2[g.output.index()]) & valid_mask;
+                if diff == 0 {
+                    return Vec::new();
+                }
+                scratch.seed(g.output.index(), diff);
+                if self.observed[g.output.index()] {
+                    signature.push((g.output, diff));
+                }
+                for &succ in netlist.fanout_gates(g.output) {
+                    scratch.enqueue(self.gate_key(succ));
+                }
+            }
+        }
+        while let Some(g) = scratch.pop() {
+            let gate = netlist.gate(g);
+            let mut ins = [0u64; 4];
+            for (k, &inp) in gate.inputs.iter().enumerate() {
+                ins[k] = frames.frame2[inp.index()] ^ scratch.diff(inp.index());
+            }
+            let faulty = gate.kind.eval_word(&ins[..gate.inputs.len()]);
+            let out = gate.output.index();
+            let diff = (faulty ^ frames.frame2[out]) & valid_mask;
+            if diff != 0 {
+                scratch.seed(out, diff);
+                if self.observed[out] {
+                    signature.push((gate.output, diff));
+                }
+                for &succ in netlist.fanout_gates(gate.output) {
+                    scratch.enqueue(self.gate_key(succ));
+                }
+            }
+        }
+        signature
+    }
+
+    #[inline]
+    fn gate_key(&self, g: GateId) -> (u32, u32) {
+        (
+            self.net_level[self.batch.netlist().gate(g).output.index()],
+            g.raw(),
+        )
+    }
+}
+
+/// Reusable buffers for single-fault propagation.
+#[derive(Debug)]
+pub struct PropagationScratch {
+    diff: Vec<u64>,
+    dirty: Vec<u32>,
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
+    enqueued: std::collections::HashSet<u32>,
+}
+
+impl PropagationScratch {
+    /// Creates scratch buffers for a netlist with `num_nets` nets.
+    pub fn new(num_nets: usize) -> Self {
+        PropagationScratch {
+            diff: vec![0; num_nets],
+            dirty: Vec::new(),
+            queue: std::collections::BinaryHeap::new(),
+            enqueued: std::collections::HashSet::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &i in &self.dirty {
+            self.diff[i as usize] = 0;
+        }
+        self.dirty.clear();
+        self.queue.clear();
+        self.enqueued.clear();
+    }
+
+    fn seed(&mut self, net: usize, mask: u64) {
+        if self.diff[net] == 0 && mask != 0 {
+            self.dirty.push(net as u32);
+        }
+        self.diff[net] |= mask;
+    }
+
+    #[inline]
+    fn diff(&self, net: usize) -> u64 {
+        self.diff[net]
+    }
+
+    fn enqueue(&mut self, key: (u32, u32)) {
+        if self.enqueued.insert(key.1) {
+            self.queue.push(std::cmp::Reverse(key));
+        }
+    }
+
+    fn pop(&mut self) -> Option<GateId> {
+        self.queue.pop().map(|std::cmp::Reverse((_, g))| GateId::new(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultList, Polarity};
+    use scap_netlist::{CellKind, ClockEdge, NetId, NetlistBuilder};
+
+    /// ff0.q --inv--> ff0.d  (self-toggling flop); ff1 captures inv2(q0).
+    fn toggler() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let q0 = b.add_net("q0");
+        let d0 = b.add_net("d0");
+        let q1 = b.add_net("q1");
+        let d1 = b.add_net("d1");
+        b.add_gate(CellKind::Inv, &[q0], d0, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[q0], d1, blk).unwrap();
+        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn detects_launched_and_propagated_fault() {
+        let n = toggler();
+        let sim = TransitionFaultSim::new(&n, ClockId::new(0));
+        // Load q0 = 0: frame1 q0 = 0, launch gives q0 = 1 in frame 2.
+        // Slow-to-rise on q0 is launched; in frame 2 the stuck-0 q0 flips
+        // d1, observed at ff1 -> detected.
+        let str_q0 = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToRise);
+        let summary = sim.detect_batch(&[0, 0], &[], 0b1, &[str_q0]);
+        assert_eq!(summary.detect_mask, vec![0b1]);
+        assert_eq!(summary.num_detected(), 1);
+    }
+
+    #[test]
+    fn wrong_polarity_is_not_launched() {
+        let n = toggler();
+        let sim = TransitionFaultSim::new(&n, ClockId::new(0));
+        let stf_q0 = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToFall);
+        // Load 0 launches a rising transition on q0, not falling.
+        let summary = sim.detect_batch(&[0, 0], &[], 0b1, &[stf_q0]);
+        assert_eq!(summary.detect_mask, vec![0]);
+    }
+
+    #[test]
+    fn opposite_load_detects_opposite_polarity() {
+        let n = toggler();
+        let sim = TransitionFaultSim::new(&n, ClockId::new(0));
+        let stf_q0 = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToFall);
+        let summary = sim.detect_batch(&[1, 0], &[], 0b1, &[stf_q0]);
+        assert_eq!(summary.detect_mask, vec![0b1]);
+    }
+
+    #[test]
+    fn valid_mask_gates_detection() {
+        let n = toggler();
+        let sim = TransitionFaultSim::new(&n, ClockId::new(0));
+        let str_q0 = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToRise);
+        let summary = sim.detect_batch(&[0, 0], &[], 0b10, &[str_q0]);
+        // Pattern 0 would detect, but only pattern 1's bit is valid — and
+        // pattern 1 has the same all-zero load, so it detects on bit 1.
+        assert_eq!(summary.detect_mask, vec![0b10]);
+    }
+
+    #[test]
+    fn batch_patterns_detect_independently() {
+        let n = toggler();
+        let sim = TransitionFaultSim::new(&n, ClockId::new(0));
+        let str_q0 = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToRise);
+        let stf_q0 = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToFall);
+        // Pattern 0: q0 = 0 (rising launch); pattern 1: q0 = 1 (falling).
+        let summary = sim.detect_batch(&[0b10, 0], &[], 0b11, &[str_q0, stf_q0]);
+        assert_eq!(summary.detect_mask[0], 0b01);
+        assert_eq!(summary.detect_mask[1], 0b10);
+    }
+
+    #[test]
+    fn full_fault_list_of_toggler_is_mostly_detectable() {
+        let n = toggler();
+        let faults = FaultList::full(&n);
+        let sim = TransitionFaultSim::new(&n, ClockId::new(0));
+        // Two patterns covering both polarities everywhere.
+        let summary = sim.detect_batch(&[0b10, 0b00], &[], 0b11, faults.faults());
+        let detected = summary.num_detected();
+        // q1 stem faults are undetectable (q1 drives nothing), all other
+        // stems and branches are detectable.
+        assert!(
+            detected >= faults.faults().len() - 2,
+            "{detected}/{}",
+            faults.faults().len()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Logic, fault and timing simulation for the `scap-atpg` suite.
+//!
+//! This crate replaces the simulation half of the paper's commercial flow
+//! (Synopsys VCS + PLI):
+//!
+//! * [`LogicSim`] — levelized three-valued (`0/1/X`) zero-delay simulation,
+//!   with optional fault injection (used by the ATPG engine),
+//! * [`loc`] — launch-off-capture / launch-off-shift two-frame semantics,
+//! * [`BatchSim`] — 64-way bit-parallel good-machine simulation,
+//! * [`TransitionFaultSim`] — PPSFP transition-delay-fault simulation with
+//!   fault dropping (drives coverage curves and dynamic compaction),
+//! * [`EventSim`] — event-driven gate-level timing simulation producing a
+//!   [`ToggleTrace`] (the VCD substitute) and the per-pattern switching
+//!   time window (STW) that defines SCAP.
+//!
+//! # Example
+//!
+//! ```
+//! use scap_netlist::{CellKind, Logic, NetlistBuilder};
+//! use scap_sim::LogicSim;
+//!
+//! # fn main() -> Result<(), scap_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("d");
+//! let blk = b.add_block("B1");
+//! let a = b.add_primary_input("a");
+//! let y = b.add_net("y");
+//! b.add_gate(CellKind::Inv, &[a], y, blk)?;
+//! let n = b.finish()?;
+//! let sim = LogicSim::new(&n);
+//! let values = sim.eval(&[], &[Logic::One], None);
+//! assert_eq!(values[y.index()], Logic::Zero);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod event;
+mod fault;
+mod fault_sim;
+pub mod loc;
+mod logic_sim;
+
+pub use batch::BatchSim;
+pub use event::{EventSim, ToggleEvent, ToggleTrace};
+pub use fault::{FaultList, FaultSite, Polarity, TransitionFault};
+pub use fault_sim::{DetectionSummary, LaunchMode, PropagationScratch, TransitionFaultSim};
+pub use logic_sim::{Injection, LogicSim};

@@ -1,0 +1,286 @@
+//! Launch-off-capture (broadside) and launch-off-shift two-frame semantics.
+//!
+//! A transition-fault pattern is a pair `(V1, V2)`:
+//!
+//! * **Launch-off-capture** (the paper's method, [`loc_frames`]): `V1` is
+//!   the scan load; the launch clock captures the combinational response,
+//!   so `V2`'s state is the next-state function applied to `V1`. Only the
+//!   flops of the *active clock domain* are pulsed — the rest hold their
+//!   loaded value (the paper generates patterns per clock domain).
+//! * **Launch-off-shift** ([`los_frames`]): `V2`'s state is `V1` shifted by
+//!   one position along each scan chain, with the scan-in value entering at
+//!   the head.
+//!
+//! Primary inputs are held constant across both frames and primary outputs
+//! are not observed (low-cost tester constraints, paper §2.4).
+
+use crate::{BatchSim, LogicSim};
+use scap_netlist::{ClockId, Logic, Netlist};
+
+/// The two stable frames of a broadside (LOC) pattern, three-valued.
+#[derive(Clone, Debug)]
+pub struct Frames {
+    /// Net values in frame 1 (after scan load, before launch).
+    pub frame1: Vec<Logic>,
+    /// Net values in frame 2 (after the launch edge).
+    pub frame2: Vec<Logic>,
+    /// Flop states in frame 2 (what launched).
+    pub state2: Vec<Logic>,
+}
+
+/// Computes LOC frames with three-valued values (X = unfilled don't-care).
+///
+/// `load` is the scan state (one entry per flop), `pi` the held primary
+/// input values. Only flops in `active_clock` are updated at the launch
+/// edge; the others keep their loaded value.
+pub fn loc_frames(
+    sim: &LogicSim<'_>,
+    load: &[Logic],
+    pi: &[Logic],
+    active_clock: ClockId,
+) -> Frames {
+    let netlist = sim.netlist();
+    let frame1 = sim.eval(load, pi, None);
+    let state2 = next_state_masked(netlist, load, &frame1, active_clock);
+    let frame2 = sim.eval(&state2, pi, None);
+    Frames {
+        frame1,
+        frame2,
+        state2,
+    }
+}
+
+/// Computes LOS frames: frame 2's state is frame 1's state shifted one
+/// position down every scan chain (scan-enable held through launch).
+///
+/// `scan_in` supplies the bit entering each chain head. Flops without a
+/// scan role hold their value.
+pub fn los_frames(
+    sim: &LogicSim<'_>,
+    load: &[Logic],
+    pi: &[Logic],
+    scan_in: Logic,
+) -> Frames {
+    let netlist = sim.netlist();
+    let frame1 = sim.eval(load, pi, None);
+    let state2 = shift_state(netlist, load, scan_in);
+    let frame2 = sim.eval(&state2, pi, None);
+    Frames {
+        frame1,
+        frame2,
+        state2,
+    }
+}
+
+/// Next state under a launch pulse restricted to one clock domain.
+pub fn next_state_masked(
+    netlist: &Netlist,
+    load: &[Logic],
+    frame1: &[Logic],
+    active_clock: ClockId,
+) -> Vec<Logic> {
+    netlist
+        .flops()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if f.clock == active_clock {
+                frame1[f.d.index()]
+            } else {
+                load[i]
+            }
+        })
+        .collect()
+}
+
+/// One-position scan shift of the load along every chain.
+pub fn shift_state(netlist: &Netlist, load: &[Logic], scan_in: Logic) -> Vec<Logic> {
+    // For each flop with scan role (chain c, position p): new value = value
+    // of the flop at (c, p-1), or scan_in for p = 0.
+    let mut by_chain: Vec<Vec<(u32, usize)>> = Vec::new();
+    for (i, f) in netlist.flops().iter().enumerate() {
+        if let Some(role) = f.scan {
+            let c = role.chain as usize;
+            if by_chain.len() <= c {
+                by_chain.resize(c + 1, Vec::new());
+            }
+            by_chain[c].push((role.position, i));
+        }
+    }
+    let mut out = load.to_vec();
+    for chain in &mut by_chain {
+        chain.sort_unstable();
+        for w in (0..chain.len()).rev() {
+            let (_, flop) = chain[w];
+            out[flop] = if w == 0 {
+                scan_in
+            } else {
+                load[chain[w - 1].1]
+            };
+        }
+    }
+    out
+}
+
+/// Bit-parallel one-position scan shift (LOS launch) of load words.
+pub fn shift_state_words(netlist: &Netlist, load: &[u64], scan_in: u64) -> Vec<u64> {
+    let mut by_chain: Vec<Vec<(u32, usize)>> = Vec::new();
+    for (i, f) in netlist.flops().iter().enumerate() {
+        if let Some(role) = f.scan {
+            let c = role.chain as usize;
+            if by_chain.len() <= c {
+                by_chain.resize(c + 1, Vec::new());
+            }
+            by_chain[c].push((role.position, i));
+        }
+    }
+    let mut out = load.to_vec();
+    for chain in &mut by_chain {
+        chain.sort_unstable();
+        for w in (0..chain.len()).rev() {
+            let (_, flop) = chain[w];
+            out[flop] = if w == 0 { scan_in } else { load[chain[w - 1].1] };
+        }
+    }
+    out
+}
+
+/// Bit-parallel LOS frames for fully-specified pattern batches.
+pub fn los_frames_batch(
+    sim: &BatchSim<'_>,
+    load: &[u64],
+    pi: &[u64],
+    scan_in: u64,
+) -> BatchFrames {
+    let netlist = sim.netlist();
+    let frame1 = sim.eval(load, pi);
+    let state2 = shift_state_words(netlist, load, scan_in);
+    let frame2 = sim.eval(&state2, pi);
+    BatchFrames {
+        frame1,
+        frame2,
+        state2,
+    }
+}
+
+/// Bit-parallel two-frame values for fully-specified pattern batches
+/// (produced by [`loc_frames_batch`] or [`los_frames_batch`]).
+#[derive(Clone, Debug)]
+pub struct BatchFrames {
+    /// Net words in frame 1.
+    pub frame1: Vec<u64>,
+    /// Net words in frame 2.
+    pub frame2: Vec<u64>,
+    /// Flop state words in frame 2.
+    pub state2: Vec<u64>,
+}
+
+/// Bit-parallel version of [`loc_frames`] for up to 64 filled patterns.
+pub fn loc_frames_batch(
+    sim: &BatchSim<'_>,
+    load: &[u64],
+    pi: &[u64],
+    active_clock: ClockId,
+) -> BatchFrames {
+    let netlist = sim.netlist();
+    let frame1 = sim.eval(load, pi);
+    let state2: Vec<u64> = netlist
+        .flops()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if f.clock == active_clock {
+                frame1[f.d.index()]
+            } else {
+                load[i]
+            }
+        })
+        .collect();
+    let frame2 = sim.eval(&state2, pi);
+    BatchFrames {
+        frame1,
+        frame2,
+        state2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_netlist::{CellKind, ClockEdge, NetlistBuilder, ScanRole};
+
+    /// Two domains: ff0 (clka) toggles itself through an inverter; ff1
+    /// (clkb) also fed by an inverter from its own Q.
+    fn two_domain() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let blk = b.add_block("B1");
+        let clka = b.add_clock_domain("clka", 100e6);
+        let clkb = b.add_clock_domain("clkb", 50e6);
+        let q0 = b.add_net("q0");
+        let d0 = b.add_net("d0");
+        let q1 = b.add_net("q1");
+        let d1 = b.add_net("d1");
+        b.add_gate(CellKind::Inv, &[q0], d0, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[q1], d1, blk).unwrap();
+        b.add_flop("ff0", d0, q0, clka, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff1", d1, q1, clkb, ClockEdge::Rising, blk).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn loc_pulses_only_active_domain() {
+        let n = two_domain();
+        let sim = LogicSim::new(&n);
+        let frames = loc_frames(
+            &sim,
+            &[Logic::Zero, Logic::Zero],
+            &[],
+            ClockId::new(0),
+        );
+        // ff0 launches 0 -> 1; ff1 holds its load.
+        assert_eq!(frames.state2, vec![Logic::One, Logic::Zero]);
+    }
+
+    #[test]
+    fn loc_batch_matches_scalar() {
+        let n = two_domain();
+        let scalar = LogicSim::new(&n);
+        let batch = BatchSim::new(&n);
+        let s = loc_frames(&scalar, &[Logic::One, Logic::Zero], &[], ClockId::new(0));
+        let w = loc_frames_batch(&batch, &[1, 0], &[], ClockId::new(0));
+        for i in 0..n.num_nets() {
+            assert_eq!(
+                w.frame2[i] & 1 == 1,
+                s.frame2[i] == Logic::One,
+                "net {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn los_shifts_along_chain() {
+        let mut n = two_domain();
+        n.set_scan_role(scap_netlist::FlopId::new(0), ScanRole { chain: 0, position: 0 });
+        n.set_scan_role(scap_netlist::FlopId::new(1), ScanRole { chain: 0, position: 1 });
+        let sim = LogicSim::new(&n);
+        let frames = los_frames(&sim, &[Logic::One, Logic::Zero], &[], Logic::Zero);
+        // position 0 gets scan_in (0), position 1 gets old position 0 (1).
+        assert_eq!(frames.state2, vec![Logic::Zero, Logic::One]);
+    }
+
+    #[test]
+    fn los_without_scan_roles_holds_state() {
+        let n = two_domain();
+        let sim = LogicSim::new(&n);
+        let frames = los_frames(&sim, &[Logic::One, Logic::Zero], &[], Logic::One);
+        assert_eq!(frames.state2, vec![Logic::One, Logic::Zero]);
+    }
+
+    #[test]
+    fn x_loads_stay_x_through_launch() {
+        let n = two_domain();
+        let sim = LogicSim::new(&n);
+        let frames = loc_frames(&sim, &[Logic::X, Logic::Zero], &[], ClockId::new(0));
+        assert_eq!(frames.state2[0], Logic::X);
+    }
+}

@@ -1,0 +1,251 @@
+//! Levelized three-valued zero-delay simulation with fault injection.
+
+use crate::FaultSite;
+use scap_netlist::{Levelization, Logic, NetSource, Netlist};
+
+/// A forced value at a fault site, used by the ATPG engine to build the
+/// faulty machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// Where to force.
+    pub site: FaultSite,
+    /// The forced (stuck) value.
+    pub value: Logic,
+}
+
+/// Levelized three-valued simulator over one netlist.
+///
+/// The simulator owns a [`Levelization`] so repeated evaluations (the inner
+/// loop of PODEM) don't re-sort the netlist.
+///
+/// # Example
+///
+/// ```
+/// use scap_netlist::{CellKind, Logic, NetlistBuilder};
+/// use scap_sim::LogicSim;
+///
+/// # fn main() -> Result<(), scap_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("d");
+/// let blk = b.add_block("B1");
+/// let a = b.add_primary_input("a");
+/// let y = b.add_net("y");
+/// b.add_gate(CellKind::Inv, &[a], y, blk)?;
+/// let n = b.finish()?;
+/// let sim = LogicSim::new(&n);
+/// assert_eq!(sim.eval(&[], &[Logic::X], None)[y.index()], Logic::X);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LogicSim<'a> {
+    netlist: &'a Netlist,
+    levelization: Levelization,
+}
+
+impl<'a> LogicSim<'a> {
+    /// Builds a simulator (levelizes once).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        LogicSim {
+            netlist,
+            levelization: Levelization::build(netlist),
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The levelization, for reuse by callers.
+    pub fn levelization(&self) -> &Levelization {
+        &self.levelization
+    }
+
+    /// Evaluates all nets given per-flop Q values and per-PI values.
+    ///
+    /// * `flop_q[i]` is the state of flop `i` (X allowed),
+    /// * `pi[i]` is the value of the `i`-th primary input,
+    /// * `inject` optionally forces a fault site to a value (the faulty
+    ///   machine). A `Net` site overrides the net's computed value; a
+    ///   `Pin` site overrides the value *seen by that gate pin only*.
+    ///
+    /// Returns one [`Logic`] per net, indexable by [`NetId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't match the netlist's flop / PI counts.
+    pub fn eval(&self, flop_q: &[Logic], pi: &[Logic], inject: Option<Injection>) -> Vec<Logic> {
+        let n = self.netlist;
+        assert_eq!(flop_q.len(), n.num_flops(), "one value per flop");
+        assert_eq!(pi.len(), n.primary_inputs().len(), "one value per PI");
+        let mut values = vec![Logic::X; n.num_nets()];
+        for (i, &net) in n.primary_inputs().iter().enumerate() {
+            values[net.index()] = pi[i];
+        }
+        for (i, flop) in n.flops().iter().enumerate() {
+            values[flop.q.index()] = flop_q[i];
+        }
+        for (i, net) in n.nets().iter().enumerate() {
+            if let Some(NetSource::Const(c)) = net.source {
+                values[i] = Logic::from_bool(c);
+            }
+        }
+        let (net_inject, pin_inject) = match inject {
+            Some(Injection { site: FaultSite::Net(net), value }) => (Some((net, value)), None),
+            Some(Injection { site: FaultSite::Pin { gate, pin }, value }) => {
+                (None, Some((gate, pin, value)))
+            }
+            None => (None, None),
+        };
+        // Apply net injection to source nets too (PI / flop Q stems).
+        if let Some((net, v)) = net_inject {
+            if !matches!(n.net(net).source, Some(NetSource::Gate(_))) {
+                values[net.index()] = v;
+            }
+        }
+        let mut inbuf: Vec<Logic> = Vec::with_capacity(4);
+        for &g in self.levelization.order() {
+            let gate = n.gate(g);
+            inbuf.clear();
+            for (pin, &inp) in gate.inputs.iter().enumerate() {
+                let mut v = values[inp.index()];
+                if let Some((ig, ipin, iv)) = pin_inject {
+                    if ig == g && ipin as usize == pin {
+                        v = iv;
+                    }
+                }
+                inbuf.push(v);
+            }
+            let mut out = gate.kind.eval(&inbuf);
+            if let Some((net, v)) = net_inject {
+                if net == gate.output {
+                    out = v;
+                }
+            }
+            values[gate.output.index()] = out;
+        }
+        values
+    }
+
+    /// Convenience: frame-independent evaluation returning the D-input
+    /// values of all flops (the next state).
+    pub fn next_state(&self, values: &[Logic]) -> Vec<Logic> {
+        self.netlist
+            .flops()
+            .iter()
+            .map(|f| values[f.d.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_netlist::{CellKind, ClockEdge, GateId, NetlistBuilder};
+
+    /// xor = a ^ q; d = !xor; flop(d -> q)
+    fn toy() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let a = b.add_primary_input("a");
+        let q = b.add_net("q");
+        let x = b.add_net("x");
+        let d = b.add_net("d");
+        b.add_gate(CellKind::Xor2, &[a, q], x, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[x], d, blk).unwrap();
+        b.add_flop("ff", d, q, clk, ClockEdge::Rising, blk).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn evaluates_known_values() {
+        let n = toy();
+        let sim = LogicSim::new(&n);
+        let v = sim.eval(&[Logic::One], &[Logic::Zero], None);
+        // x = 0 ^ 1 = 1, d = 0
+        assert_eq!(v[2], Logic::One);
+        assert_eq!(v[3], Logic::Zero);
+        assert_eq!(sim.next_state(&v), vec![Logic::Zero]);
+    }
+
+    #[test]
+    fn x_propagates() {
+        let n = toy();
+        let sim = LogicSim::new(&n);
+        let v = sim.eval(&[Logic::X], &[Logic::One], None);
+        assert_eq!(v[2], Logic::X);
+        assert_eq!(v[3], Logic::X);
+    }
+
+    #[test]
+    fn net_injection_overrides_gate_output() {
+        let n = toy();
+        let sim = LogicSim::new(&n);
+        let x_net = scap_netlist::NetId::new(2);
+        let v = sim.eval(
+            &[Logic::One],
+            &[Logic::Zero],
+            Some(Injection {
+                site: FaultSite::Net(x_net),
+                value: Logic::Zero,
+            }),
+        );
+        assert_eq!(v[2], Logic::Zero);
+        // Downstream sees the forced value: d = !0 = 1.
+        assert_eq!(v[3], Logic::One);
+    }
+
+    #[test]
+    fn pin_injection_affects_only_that_branch() {
+        // y = a; two readers: inv1(y) -> z1, inv2(y) -> z2.
+        let mut b = NetlistBuilder::new("d");
+        let blk = b.add_block("B1");
+        let a = b.add_primary_input("a");
+        let z1 = b.add_net("z1");
+        let z2 = b.add_net("z2");
+        b.add_gate(CellKind::Inv, &[a], z1, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[a], z2, blk).unwrap();
+        b.add_primary_output(z1);
+        b.add_primary_output(z2);
+        let n = b.finish().unwrap();
+        let sim = LogicSim::new(&n);
+        let v = sim.eval(
+            &[],
+            &[Logic::One],
+            Some(Injection {
+                site: FaultSite::Pin {
+                    gate: GateId::new(0),
+                    pin: 0,
+                },
+                value: Logic::Zero,
+            }),
+        );
+        assert_eq!(v[z1.index()], Logic::One, "faulty branch");
+        assert_eq!(v[z2.index()], Logic::Zero, "healthy branch");
+    }
+
+    #[test]
+    fn injection_on_primary_input_stem() {
+        let n = toy();
+        let sim = LogicSim::new(&n);
+        let a = n.primary_inputs()[0];
+        let v = sim.eval(
+            &[Logic::One],
+            &[Logic::Zero],
+            Some(Injection {
+                site: FaultSite::Net(a),
+                value: Logic::One,
+            }),
+        );
+        assert_eq!(v[a.index()], Logic::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per flop")]
+    fn validates_state_width() {
+        let n = toy();
+        let sim = LogicSim::new(&n);
+        let _ = sim.eval(&[], &[Logic::Zero], None);
+    }
+}

@@ -1,0 +1,298 @@
+//! Static timing analysis: longest-path arrival per net and per endpoint.
+
+use crate::{ClockArrivals, DelayAnnotation};
+use scap_netlist::{FlopId, Levelization, NetId, NetSource, Netlist};
+
+/// Timing of one capture endpoint (a flop D pin).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EndpointTiming {
+    /// The capturing flop.
+    pub flop: FlopId,
+    /// Worst data arrival at the D pin, ps, measured from the launch clock
+    /// edge at time 0.
+    pub data_arrival_ps: f64,
+    /// Required time: capture-clock arrival + period − setup, ps.
+    pub required_ps: f64,
+}
+
+impl EndpointTiming {
+    /// Slack in ps (negative = violation).
+    #[inline]
+    pub fn slack_ps(&self) -> f64 {
+        self.required_ps - self.data_arrival_ps
+    }
+}
+
+/// Topological longest-path analysis under a [`DelayAnnotation`].
+///
+/// Launch model: every flop Q toggles at its clock arrival + clock-to-Q;
+/// primary inputs change at time 0 (the paper holds PIs constant during
+/// at-speed test, so they rarely dominate).
+///
+/// # Example
+///
+/// ```no_run
+/// # use scap_netlist::{Netlist, ClockId, Floorplan};
+/// # fn demo(netlist: &Netlist, floorplan: &Floorplan) {
+/// use scap_timing::{ClockTree, DelayAnnotation, Sta};
+/// let ann = DelayAnnotation::extract(netlist, floorplan);
+/// let tree = ClockTree::synthesize(netlist, floorplan, ClockId::new(0));
+/// let sta = Sta::run(netlist, &ann, &tree.arrivals());
+/// let wns = sta.endpoints().iter().map(|e| e.slack_ps()).fold(f64::MAX, f64::min);
+/// println!("WNS = {wns} ps");
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sta {
+    arrival_ps: Vec<f64>,
+    endpoints: Vec<EndpointTiming>,
+}
+
+impl Sta {
+    /// Runs longest-path STA for the domain covered by `clock_arrivals`.
+    ///
+    /// Flops outside the domain are treated as launching at time 0 and are
+    /// not reported as endpoints.
+    pub fn run(
+        netlist: &Netlist,
+        annotation: &DelayAnnotation,
+        clock_arrivals: &ClockArrivals,
+    ) -> Self {
+        let lv = Levelization::build(netlist);
+        let mut arrival_ps = vec![0.0f64; netlist.num_nets()];
+        // Launch times at flop Q nets.
+        for (f, t_clk) in clock_arrivals.iter() {
+            let ff = netlist.flop(f);
+            arrival_ps[ff.q.index()] = t_clk + annotation.flop_clk_to_q_ps(f);
+        }
+        for &g in lv.order() {
+            let gate = netlist.gate(g);
+            let worst_in = gate
+                .inputs
+                .iter()
+                .map(|n| arrival_ps[n.index()])
+                .fold(0.0f64, f64::max);
+            arrival_ps[gate.output.index()] = worst_in + annotation.gate_delay_ps(g);
+        }
+        let period_ps = clock_arrivals
+            .iter()
+            .next()
+            .map(|(f, _)| netlist.clock(netlist.flop(f).clock).period_ps())
+            .unwrap_or(0.0);
+        let setup = netlist.library.flop().setup_ps;
+        let endpoints = clock_arrivals
+            .iter()
+            .map(|(f, t_clk)| EndpointTiming {
+                flop: f,
+                data_arrival_ps: arrival_ps[netlist.flop(f).d.index()],
+                required_ps: t_clk + period_ps - setup,
+            })
+            .collect();
+        Sta {
+            arrival_ps,
+            endpoints,
+        }
+    }
+
+    /// Worst arrival time at a net, ps.
+    #[inline]
+    pub fn arrival_ps(&self, net: NetId) -> f64 {
+        self.arrival_ps[net.index()]
+    }
+
+    /// Endpoint report, one entry per in-domain flop.
+    pub fn endpoints(&self) -> &[EndpointTiming] {
+        &self.endpoints
+    }
+
+    /// Critical-path delay: the maximum data arrival over all endpoints, ps.
+    pub fn critical_path_ps(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.data_arrival_ps)
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst negative slack over all endpoints (most-negative slack), or
+    /// `None` with no endpoints.
+    pub fn worst_slack_ps(&self) -> Option<f64> {
+        self.endpoints
+            .iter()
+            .map(|e| e.slack_ps())
+            .min_by(|a, b| a.partial_cmp(b).expect("slacks are finite"))
+    }
+
+    /// Marks nets on any path whose endpoint arrival equals the critical
+    /// path (within `tol_ps`). Used to pick "long path" patterns.
+    pub fn is_near_critical(&self, netlist: &Netlist, net: NetId, tol_ps: f64) -> bool {
+        // A net is near-critical if its arrival plus the remaining longest
+        // path to an endpoint is within tolerance; approximate with the
+        // arrival alone relative to the critical path.
+        let _ = netlist;
+        self.arrival_ps(net) + tol_ps >= self.critical_path_ps()
+    }
+
+    /// Traces the `count` worst paths: for each of the latest-arriving
+    /// endpoints, walks back through the max-arrival predecessor at every
+    /// gate until a launch point (flop Q, primary input or constant).
+    pub fn worst_paths(&self, netlist: &Netlist, count: usize) -> Vec<PathReport> {
+        let mut order: Vec<&EndpointTiming> = self.endpoints.iter().collect();
+        order.sort_by(|a, b| {
+            b.data_arrival_ps
+                .partial_cmp(&a.data_arrival_ps)
+                .expect("arrivals are finite")
+        });
+        order
+            .into_iter()
+            .take(count)
+            .map(|ep| {
+                let mut nets = Vec::new();
+                let mut net = netlist.flop(ep.flop).d;
+                loop {
+                    nets.push((net, self.arrival_ps(net)));
+                    match netlist.net(net).source {
+                        Some(NetSource::Gate(g)) => {
+                            let gate = netlist.gate(g);
+                            net = gate
+                                .inputs
+                                .iter()
+                                .copied()
+                                .max_by(|a, b| {
+                                    self.arrival_ps(*a)
+                                        .partial_cmp(&self.arrival_ps(*b))
+                                        .expect("arrivals are finite")
+                                })
+                                .expect("gates have inputs");
+                        }
+                        _ => break,
+                    }
+                }
+                nets.reverse();
+                PathReport {
+                    endpoint: ep.flop,
+                    data_arrival_ps: ep.data_arrival_ps,
+                    slack_ps: ep.slack_ps(),
+                    nets,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One traced timing path, launch to capture.
+#[derive(Clone, Debug)]
+pub struct PathReport {
+    /// The capturing flop.
+    pub endpoint: FlopId,
+    /// Data arrival at the endpoint, ps.
+    pub data_arrival_ps: f64,
+    /// Endpoint slack, ps.
+    pub slack_ps: f64,
+    /// `(net, arrival)` along the path, launch first.
+    pub nets: Vec<(NetId, f64)>,
+}
+
+impl PathReport {
+    /// Logic depth of the path (number of gate stages).
+    pub fn depth(&self) -> usize {
+        self.nets.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClockTree;
+    use scap_netlist::{
+        CellKind, ClockEdge, ClockId, Die, Floorplan, NetlistBuilder, Placement, Point, Rect,
+    };
+
+    /// Two flops with a 3-inverter chain between them.
+    fn pipeline() -> (Netlist, Floorplan) {
+        let mut b = NetlistBuilder::new("p");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let pi = b.add_primary_input("pi");
+        let q0 = b.add_net("q0");
+        let mut prev = q0;
+        let mut gate_count = 0;
+        for i in 0..3 {
+            let y = b.add_net(format!("y{i}"));
+            b.add_gate(CellKind::Inv, &[prev], y, blk).unwrap();
+            gate_count += 1;
+            prev = y;
+        }
+        let q1 = b.add_net("q1");
+        b.add_flop("ff0", pi, q0, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff1", prev, q1, clk, ClockEdge::Rising, blk).unwrap();
+        let n = b.finish().unwrap();
+        let fp = Floorplan::new(
+            &n,
+            Die::square(100.0),
+            vec![Rect::new(0.0, 0.0, 100.0, 100.0)],
+            Placement::new(
+                vec![Point::new(50.0, 50.0); gate_count],
+                vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)],
+            ),
+        );
+        (n, fp)
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let (n, fp) = pipeline();
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let tree = ClockTree::synthesize(&n, &fp, ClockId::new(0));
+        let sta = Sta::run(&n, &ann, &tree.arrivals());
+        // ff1's D input should arrive later than ff0's Q.
+        let q0 = n.flop(FlopId::new(0)).q;
+        let d1 = n.flop(FlopId::new(1)).d;
+        assert!(sta.arrival_ps(d1) > sta.arrival_ps(q0));
+        assert_eq!(sta.endpoints().len(), 2);
+    }
+
+    #[test]
+    fn slack_positive_for_short_pipeline_at_100mhz() {
+        let (n, fp) = pipeline();
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let tree = ClockTree::synthesize(&n, &fp, ClockId::new(0));
+        let sta = Sta::run(&n, &ann, &tree.arrivals());
+        assert!(sta.worst_slack_ps().unwrap() > 0.0);
+        assert!(sta.critical_path_ps() > 0.0);
+    }
+
+    #[test]
+    fn worst_paths_are_sorted_and_monotone() {
+        let (n, fp) = pipeline();
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let tree = ClockTree::synthesize(&n, &fp, ClockId::new(0));
+        let sta = Sta::run(&n, &ann, &tree.arrivals());
+        let paths = sta.worst_paths(&n, 2);
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].data_arrival_ps >= paths[1].data_arrival_ps);
+        // Arrivals increase along the path.
+        let worst = &paths[0];
+        assert!(worst.depth() >= 1);
+        for w in worst.nets.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{:?}", worst.nets);
+        }
+        // The path's final arrival is the endpoint arrival.
+        assert!((worst.nets.last().unwrap().1 - worst.data_arrival_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_delays_reduce_slack() {
+        let (n, fp) = pipeline();
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let tree = ClockTree::synthesize(&n, &fp, ClockId::new(0));
+        let slow = crate::scaling::scale_annotation(
+            &ann,
+            &vec![0.3; n.num_gates()],
+            &vec![0.3; n.num_flops()],
+            n.library.k_volt_per_volt,
+        );
+        let fast = Sta::run(&n, &ann, &tree.arrivals());
+        let slow = Sta::run(&n, &slow, &tree.arrivals());
+        assert!(slow.worst_slack_ps().unwrap() < fast.worst_slack_ps().unwrap());
+    }
+}

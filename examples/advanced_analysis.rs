@@ -1,0 +1,134 @@
+//! Beyond the paper: small-delay defects and faster-than-at-speed capture,
+//! peak-power waveforms, failure diagnosis and power-constrained test
+//! scheduling — all on the same generated case-study SOC.
+//!
+//! ```text
+//! cargo run --release --example advanced_analysis [scale]
+//! ```
+
+use rand::SeedableRng;
+use scap::dft::{FillPolicy, PatternSet, TestPattern};
+use scap::diagnose::{diagnose, FailureLog};
+use scap::power::PowerWaveform;
+use scap::sdd::SddAnalysis;
+use scap::sim::{FaultList, PropagationScratch, TransitionFaultSim};
+use scap::{schedule, CaseStudy, PatternAnalyzer};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    println!("building case-study SOC at scale {scale} …");
+    let study = CaseStudy::new(scale);
+    let n = &study.design.netlist;
+    let faults = FaultList::full(n);
+
+    // A quick random pattern set stands in for a production set.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let mut set = PatternSet::new();
+    for _ in 0..48 {
+        let p = TestPattern::unspecified(n);
+        let f = p.fill(n, FillPolicy::Random, &mut rng);
+        set.push(p, f);
+    }
+
+    // --- small-delay defects & faster-than-at-speed -------------------
+    let sdd = SddAnalysis::new(&study);
+    let profile = sdd.profile(&faults, &set);
+    let period = study.period_ps();
+    println!("\nsmall-delay-defect coverage (of logic-detected faults):");
+    // The clka cycle is 20 ns and sensitized paths land around 8-10 ns,
+    // so slacks sit near 10 ns: sweep defect sizes around that knee.
+    for defect_ns in [6.0, 9.0, 12.0, 15.0] {
+        let at_speed = profile.sdd_coverage(defect_ns * 1000.0, period);
+        let fast = profile.sdd_coverage(defect_ns * 1000.0, 0.7 * period);
+        println!(
+            "  {defect_ns:>4.1} ns defect: {:>5.1} % at-speed | {:>5.1} % at 0.7x period",
+            100.0 * at_speed,
+            100.0 * fast
+        );
+    }
+    let analyzer = PatternAnalyzer::new(&study);
+    let powers = analyzer.power_profile(&set);
+    let hot = powers
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.chip_scap_vdd_mw()
+                .partial_cmp(&b.chip_scap_vdd_mw())
+                .expect("finite power")
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    println!(
+        "safe capture period of the hottest pattern: {:.2} ns nominal, {:.2} ns IR-aware",
+        sdd.safe_capture_period_ps(&set.filled[hot], false) / 1000.0,
+        sdd.safe_capture_period_ps(&set.filled[hot], true) / 1000.0
+    );
+
+    // --- peak power waveform ------------------------------------------
+    let trace = analyzer.trace(&set.filled[hot]);
+    let wave = PowerWaveform::from_trace(n, &study.annotation, &trace, 500.0);
+    println!(
+        "\nhot pattern power profile (500 ps bins): peak {:.1} mW over 1 ns, total {:.1} pJ",
+        wave.peak_power_mw(1000.0),
+        wave.total_energy_fj() / 1000.0
+    );
+    println!("  [{}]", wave.sparkline());
+
+    // --- failure diagnosis --------------------------------------------
+    // Pretend one detectable fault is a real silicon defect: find one
+    // that actually fails on this pattern set and produce its fail logs.
+    let sim = TransitionFaultSim::new(n, study.clka());
+    let mut scratch = PropagationScratch::new(n.num_nets());
+    let mut defect = faults.faults()[0];
+    let mut logs = Vec::new();
+    'hunt: for &candidate in faults.faults().iter().skip(60) {
+        logs.clear();
+        for (start, batch) in set.batches() {
+            let frames = sim.frames(&batch.load_words, &batch.pi_words);
+            let signature =
+                sim.signature_one(&frames, batch.valid_mask, candidate, &mut scratch);
+            for bit in 0..batch.count {
+                let failing: Vec<_> = signature
+                    .iter()
+                    .filter(|(_, mask)| mask >> bit & 1 == 1)
+                    .flat_map(|(net, _)| n.fanout_flops(*net).to_vec())
+                    .collect();
+                if !failing.is_empty() {
+                    logs.push(FailureLog {
+                        pattern: start + bit,
+                        failing_flops: failing,
+                    });
+                }
+            }
+        }
+        if logs.len() >= 3 {
+            defect = candidate;
+            break 'hunt;
+        }
+    }
+    logs.truncate(4);
+    let candidates = diagnose(n, study.clka(), &faults, &set, &logs, 5);
+    println!("\ndiagnosis of {} fail logs (injected {:?}):", logs.len(), defect);
+    for c in &candidates {
+        println!("  {:>5.2}  {:?}", c.score, c.fault);
+    }
+
+    // --- power-constrained scheduling ---------------------------------
+    let flow = scap::flows::conventional(&study);
+    let tests = schedule::block_tests_from_flow(&study, &flow);
+    let budget = 1.5
+        * tests
+            .iter()
+            .map(|t| t.power_mw)
+            .fold(0.0f64, f64::max);
+    let plan = schedule::schedule(&tests, budget);
+    println!(
+        "\nscheduling under {budget:.2} mW: {} sessions, {} patterns ({} serial)",
+        plan.sessions.len(),
+        plan.total_length(),
+        schedule::serial_length(&tests)
+    );
+}
