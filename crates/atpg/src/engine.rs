@@ -167,7 +167,10 @@ impl<'a> Podem<'a> {
                 Objective::Detected => return PodemOutcome::Test,
                 Objective::Assign(net, value, frame) => {
                     if trace {
-                        eprintln!("objective: {net:?}={value} in {frame:?} (stack {} bt {backtracks})", stack.len());
+                        eprintln!(
+                            "objective: {net:?}={value} in {frame:?} (stack {} bt {backtracks})",
+                            stack.len()
+                        );
                     }
                     match self.backtrace(&state, net, value, frame) {
                         Some((var, val)) => {
@@ -296,8 +299,7 @@ impl<'a> Podem<'a> {
         if let FaultSite::Pin { gate, pin } = fault.site {
             let g = netlist.gate(gate);
             let out = g.output.index();
-            let undetermined =
-                !(state.good2[out].is_known() && state.faulty2[out].is_known());
+            let undetermined = !(state.good2[out].is_known() && state.faulty2[out].is_known());
             if undetermined {
                 if let Some((p, val)) = self.side_objective(state, gate, pin as usize) {
                     frontier_nets.push(g.output);
@@ -307,8 +309,7 @@ impl<'a> Podem<'a> {
         }
         for (gi, gate) in netlist.gates().iter().enumerate() {
             let out = gate.output.index();
-            let out_diff_known = state.good2[out].is_known()
-                && state.faulty2[out].is_known();
+            let out_diff_known = state.good2[out].is_known() && state.faulty2[out].is_known();
             if out_diff_known && state.good2[out] == state.faulty2[out] {
                 continue; // settled, no difference at output
             }
@@ -395,7 +396,12 @@ impl<'a> Podem<'a> {
 
     /// Side-input objective for a frontier gate whose difference arrives
     /// on `diff_pin`: pick an X side input and its non-controlling value.
-    fn side_objective(&self, state: &SimState, g: GateId, diff_pin: usize) -> Option<(usize, Logic)> {
+    fn side_objective(
+        &self,
+        state: &SimState,
+        g: GateId,
+        diff_pin: usize,
+    ) -> Option<(usize, Logic)> {
         let netlist = self.sim.netlist();
         let gate = netlist.gate(g);
         let x_pins: Vec<usize> = gate
@@ -603,7 +609,11 @@ impl<'a> Podem<'a> {
                     CellKind::Aoi22 => Logic::Zero,
                     _ => Logic::One,
                 };
-                let target = if v == Logic::One { inverting_low } else { !inverting_low };
+                let target = if v == Logic::One {
+                    inverting_low
+                } else {
+                    !inverting_low
+                };
                 (easiest(&x_inputs), target)
             }
         })
@@ -619,9 +629,9 @@ enum Objective {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scap_dft::{FillPolicy, PatternBatch};
     use scap_netlist::{ClockEdge, NetlistBuilder};
     use scap_sim::{FaultList, Polarity, TransitionFaultSim};
-    use scap_dft::{FillPolicy, PatternBatch};
 
     /// Small but non-trivial: 4 flops, AND/XOR logic, one observation.
     fn mini() -> Netlist {
@@ -640,7 +650,8 @@ mod tests {
         b.add_gate(CellKind::Xor2, &[w1, q[2]], w2, blk).unwrap();
         b.add_gate(CellKind::Inv, &[w2], d[0], blk).unwrap();
         b.add_gate(CellKind::Buf, &[q[0]], d[1], blk).unwrap();
-        b.add_gate(CellKind::Nor2, &[q[2], q[3]], d[2], blk).unwrap();
+        b.add_gate(CellKind::Nor2, &[q[2], q[3]], d[2], blk)
+            .unwrap();
         b.add_gate(CellKind::Nand2, &[w2, q[3]], d[3], blk).unwrap();
         for i in 0..4 {
             b.add_flop(format!("ff{i}"), d[i], q[i], clk, ClockEdge::Rising, blk)
@@ -665,8 +676,7 @@ mod tests {
                 found += 1;
                 let filled = pattern.fill(&n, FillPolicy::Zero, &mut rng);
                 let batch = PatternBatch::pack(std::slice::from_ref(&filled));
-                let summary =
-                    fsim.detect_batch(&batch.load_words, &batch.pi_words, 1, &[fault]);
+                let summary = fsim.detect_batch(&batch.load_words, &batch.pi_words, 1, &[fault]);
                 assert_eq!(
                     summary.detect_mask[0] & 1,
                     1,
@@ -694,14 +704,18 @@ mod tests {
         let q2 = b.add_net("q2");
         b.add_gate(CellKind::Buf, &[q], d, blk).unwrap();
         b.add_flop("ff", d, q, clk, ClockEdge::Rising, blk).unwrap();
-        b.add_flop("ff2", d, q2, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff2", d, q2, clk, ClockEdge::Rising, blk)
+            .unwrap();
         let n = b.finish().unwrap();
         let podem = Podem::new(&n, ClockId::new(0), 1000);
         // STR on q: frame1 q = 0 requires load 0; frame2 q = next state =
         // buf(q) = 0 -> can never be 1. Untestable.
         let fault = TransitionFault::new(FaultSite::Net(NetId::new(0)), Polarity::SlowToRise);
         let mut pattern = TestPattern::unspecified(&n);
-        assert_eq!(podem.generate(fault, &mut pattern), PodemOutcome::Untestable);
+        assert_eq!(
+            podem.generate(fault, &mut pattern),
+            PodemOutcome::Untestable
+        );
         // Pattern unchanged on failure.
         assert_eq!(pattern, TestPattern::unspecified(&n));
     }

@@ -252,8 +252,8 @@ impl<'a> Generator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scap_netlist::{CellKind, ClockEdge, NetlistBuilder};
     use rand::Rng;
+    use scap_netlist::{CellKind, ClockEdge, NetlistBuilder};
 
     /// A register ring with mixing logic — everything reachable and
     /// observable, so coverage should be high.

@@ -9,13 +9,18 @@ fn bench(c: &mut Criterion) {
     let study = scap_bench::study();
     let conv = scap_bench::conventional();
     let f2 = experiments::fig2(study, conv);
-    println!("\n{}", experiments::render_scap_series("Figure 2 (conventional B5 SCAP)", &f2));
+    println!(
+        "\n{}",
+        experiments::render_scap_series("Figure 2 (conventional B5 SCAP)", &f2)
+    );
     println!("paper: 2253 of 5846 random-fill patterns (39 %) above the 204 mW threshold");
     let analyzer = PatternAnalyzer::new(study);
     let pattern = conv.patterns.filled[0].clone();
     let mut g = c.benchmark_group("fig2");
     g.sample_size(20);
-    g.bench_function("scap_of_one_pattern", |b| b.iter(|| analyzer.power(&pattern)));
+    g.bench_function("scap_of_one_pattern", |b| {
+        b.iter(|| analyzer.power(&pattern))
+    });
     g.finish();
 }
 

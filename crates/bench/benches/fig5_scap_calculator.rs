@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
     let calc = ScapCalculator::new(&study.design.netlist, &study.annotation, study.period_ps());
     let mut g = c.benchmark_group("fig5");
     g.sample_size(20);
-    g.bench_function("scap_calculator_measure", |b| b.iter(|| calc.measure(&trace)));
+    g.bench_function("scap_calculator_measure", |b| {
+        b.iter(|| calc.measure(&trace))
+    });
     g.bench_function("event_sim_trace", |b| {
         b.iter(|| analyzer.trace(&conv.patterns.filled[0]))
     });

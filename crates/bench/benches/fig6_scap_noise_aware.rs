@@ -2,16 +2,19 @@
 //! once, then benches a staged generation step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use scap::dft::FillPolicy;
 use scap::experiments;
 use scap::sim::FaultList;
 use scap::tgen::{AtpgConfig, Generator};
-use scap::dft::FillPolicy;
 
 fn bench(c: &mut Criterion) {
     let study = scap_bench::study();
     let na = scap_bench::noise_aware();
     let f6 = experiments::fig6(study, na);
-    println!("\n{}", experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &f6));
+    println!(
+        "\n{}",
+        experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &f6)
+    );
     for (label, start) in &na.steps {
         println!("  {label}: starts at pattern {start}");
     }

@@ -49,8 +49,40 @@ fn bench(c: &mut Criterion) {
     });
 
     let grid = scap::power::PowerGrid::new(study.design.floorplan.die, study.grid);
-    let currents: Vec<f64> = (0..grid.num_nodes()).map(|_| rng.gen::<f64>() * 1e-4).collect();
-    g.bench_function("grid_cg_solve_576_nodes", |b| b.iter(|| grid.solve(&currents)));
+    let currents: Vec<f64> = (0..grid.num_nodes())
+        .map(|_| rng.gen::<f64>() * 1e-4)
+        .collect();
+    g.bench_function("grid_cg_solve_576_nodes", |b| {
+        b.iter(|| grid.solve(&currents))
+    });
+
+    // Solver-reuse variants of the same solve: hoisted scratch
+    // allocations (cold start, bit-identical) and warm start from the
+    // previous solution (same tolerance, fewer iterations).
+    let mut solver = grid.solver();
+    g.bench_function("grid_cg_solve_reused_scratch", |b| {
+        b.iter(|| solver.solve(&currents))
+    });
+    let mut warm = grid.solver();
+    g.bench_function("grid_cg_solve_warm_start", |b| {
+        b.iter(|| warm.solve_warm(&currents))
+    });
+
+    // Per-pattern dynamic IR-drop: one-shot (grid system assembled per
+    // pattern) vs the profile path (assembled once + session reuse).
+    use scap::PatternAnalyzer;
+    let analyzer = PatternAnalyzer::new(study);
+    let pats = filled[..8].to_vec();
+    g.bench_function("irdrop_8_patterns_one_shot", |b| {
+        b.iter(|| {
+            for p in &pats {
+                criterion::black_box(analyzer.ir_drop(p));
+            }
+        })
+    });
+    g.bench_function("irdrop_8_patterns_profile", |b| {
+        b.iter(|| analyzer.ir_drop_profile(&pats).len())
+    });
     g.finish();
 }
 

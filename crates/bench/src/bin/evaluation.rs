@@ -7,51 +7,118 @@
 //! Prints every table and figure of the DAC'07 paper at the requested
 //! design scale (default 0.02 ≈ 460 flops; the paper's chip is scale 1.0).
 //! The output of this binary is the source of `EXPERIMENTS.md`.
+//!
+//! Besides the human-readable report, the run writes
+//! `BENCH_evaluation.json` (override the path with `SCAP_BENCH_JSON`):
+//! per-stage wall-clock in milliseconds, the worker-thread count and the
+//! design scale, so serial-vs-parallel comparisons are machine-checkable.
 
 use scap::{ablation, experiments, flows, CaseStudy, PatternAnalyzer};
+use std::time::Instant;
+
+/// Per-stage wall-clock collector feeding `BENCH_evaluation.json`.
+struct StageClock {
+    stages: Vec<(&'static str, f64)>,
+}
+
+impl StageClock {
+    fn new() -> Self {
+        StageClock { stages: Vec::new() }
+    }
+
+    /// Runs `f`, recording its wall-clock under `name`.
+    fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.stages.push((name, t.elapsed().as_secs_f64() * 1e3));
+        out
+    }
+
+    /// Renders the collected stages as a JSON document. Hand-rolled:
+    /// the workspace carries no JSON dependency, and the document is
+    /// flat (no strings needing escapes).
+    fn to_json(&self, scale: f64, threads: usize, total_ms: f64) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"scale\": {scale},\n"));
+        s.push_str(&format!("  \"threads\": {threads},\n"));
+        s.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
+        s.push_str("  \"stages\": [\n");
+        for (i, (name, ms)) in self.stages.iter().enumerate() {
+            let sep = if i + 1 == self.stages.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"ms\": {ms:.3} }}{sep}\n"
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.02);
-    let t0 = std::time::Instant::now();
-    println!("== scap-atpg evaluation @ scale {scale} ==\n");
-    let study = CaseStudy::new(scale);
+    let threads = scap_exec::Executor::new().threads();
+    let mut clock = StageClock::new();
+    let t0 = Instant::now();
+    println!("== scap-atpg evaluation @ scale {scale}, {threads} thread(s) ==\n");
+    let study = clock.time("design", || CaseStudy::new(scale));
 
     // Tables 1 & 2.
-    let report = experiments::table1(&study);
+    let report = clock.time("table1", || experiments::table1(&study));
     println!("{}", experiments::render_table1(&report));
     println!("{}", experiments::render_table2(&report));
 
     // Table 3 + thresholds.
-    let t3 = experiments::table3(&study);
+    let t3 = clock.time("table3_statistical", || experiments::table3(&study));
     println!("{}", experiments::render_table3(&study, &t3));
     let b5 = study.design.block_named("B5").expect("B5 exists");
-    let thr = experiments::scap_thresholds(&study)[b5.index()];
+    let thr = clock.time("scap_thresholds", || {
+        experiments::scap_thresholds(&study)[b5.index()]
+    });
     println!("B5 SCAP screening threshold: {thr:.2} mW\n");
 
     // Flows.
-    println!("[{}s] running conventional random-fill ATPG …", t0.elapsed().as_secs());
-    let conventional = flows::conventional(&study);
-    println!("[{}s] running noise-aware staged ATPG …", t0.elapsed().as_secs());
-    let noise_aware = flows::noise_aware(&study);
+    println!(
+        "[{}s] running conventional random-fill ATPG …",
+        t0.elapsed().as_secs()
+    );
+    let conventional = clock.time("flow_conventional", || flows::conventional(&study));
+    println!(
+        "[{}s] running noise-aware staged ATPG …",
+        t0.elapsed().as_secs()
+    );
+    let noise_aware = clock.time("flow_noise_aware", || flows::noise_aware(&study));
 
     // Table 4.
-    let t4 = experiments::table4(&study, &conventional);
+    let t4 = clock.time("table4_cap_scap", || {
+        experiments::table4(&study, &conventional)
+    });
     println!("\n{}", experiments::render_table4(&t4));
 
-    // Figures 2 & 6.
-    let f2 = experiments::fig2(&study, &conventional);
-    let f6 = experiments::fig6(&study, &noise_aware);
-    println!("{}", experiments::render_scap_series("Figure 2 (conventional B5 SCAP)", &f2));
-    println!("{}", experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &f6));
+    // Figures 2 & 6 (whole-set SCAP profiles — the parallel_map hot loop).
+    let f2 = clock.time("fig2_scap_profile", || {
+        experiments::fig2(&study, &conventional)
+    });
+    let f6 = clock.time("fig6_scap_profile", || {
+        experiments::fig6(&study, &noise_aware)
+    });
+    println!(
+        "{}",
+        experiments::render_scap_series("Figure 2 (conventional B5 SCAP)", &f2)
+    );
+    println!(
+        "{}",
+        experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &f6)
+    );
     for (label, start) in &noise_aware.steps {
         println!("  {label}: starts at pattern {start}");
     }
 
-    // Figure 3.
-    let f3 = experiments::fig3(&study, &conventional);
+    // Figure 3 (two dynamic IR-drop solves).
+    let f3 = clock.time("fig3_irdrop", || experiments::fig3(&study, &conventional));
     println!("\n{}", experiments::render_fig3(&study, &f3));
 
     // Figure 4.
@@ -68,16 +135,30 @@ fn main() {
     );
 
     // Figure 7.
-    let f7 = experiments::fig7(&study, &noise_aware);
+    let f7 = clock.time("fig7_delay_scaling", || {
+        experiments::fig7(&study, &noise_aware)
+    });
     println!("{}", experiments::render_fig7(&f7));
 
     // Ablations.
-    let rows = ablation::staged_fill_matrix(&study);
+    let rows = clock.time("ablation_fill_matrix", || {
+        ablation::staged_fill_matrix(&study)
+    });
     println!("{}", ablation::render_matrix(&rows));
-    let sweep = ablation::threshold_sensitivity(&study, &conventional, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+    let sweep = clock.time("ablation_threshold_sweep", || {
+        ablation::threshold_sensitivity(&study, &conventional, &[0.25, 0.5, 1.0, 2.0, 4.0])
+    });
     println!("threshold sensitivity (factor -> conventional patterns above):");
     for (f, above) in &sweep {
         println!("  x{f:<5} {above}");
     }
-    println!("\ntotal wall time: {:.0} s", t0.elapsed().as_secs_f64());
+
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("\ntotal wall time: {:.0} s", total_ms / 1e3);
+    let json = clock.to_json(scale, threads, total_ms);
+    let path = std::env::var("SCAP_BENCH_JSON").unwrap_or_else(|_| "BENCH_evaluation.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
 }

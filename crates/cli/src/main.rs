@@ -54,6 +54,23 @@ impl Args {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
+    /// Parses `--threads` and installs it as the process-wide worker
+    /// count. Exits with a clean message on a malformed value.
+    fn install_threads(&self) {
+        let Some(raw) = self.get("threads") else {
+            return;
+        };
+        match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                scap_exec::set_default_threads(n);
+            }
+            _ => {
+                eprintln!("error: --threads expects a positive integer, got '{raw}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
     /// Parses and validates `--scale`, exiting with a clean message on a
     /// malformed or out-of-range value.
     fn scale(&self) -> f64 {
@@ -76,20 +93,24 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scap <generate|atpg|profile|schedule|paths|evaluate> [--scale S] [options]\n\
+        "usage: scap <generate|atpg|profile|schedule|paths|evaluate> [--scale S] [--threads N] [options]\n\
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
          \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact\
          \n  profile    per-pattern B5 SCAP of a flow vs the screening threshold\
          \n  schedule   power-constrained session scheduling: --budget MILLIWATTS\
          \n  paths      report the N worst timing paths: --count N\
-         \n  evaluate   every table and figure of the paper (long)"
+         \n  evaluate   every table and figure of the paper (long)\
+         \n\
+         \n  --threads N  worker threads for the parallel hot loops\
+         \n               (default: SCAP_THREADS env, then available cores)"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
+    args.install_threads();
     let Some(cmd) = args.positional.first().map(String::as_str) else {
         return usage();
     };
@@ -199,12 +220,7 @@ fn schedule_cmd(args: &Args) -> ExitCode {
     let budget: f64 = args
         .get("budget")
         .and_then(|b| b.parse().ok())
-        .unwrap_or_else(|| {
-            2.0 * tests
-                .iter()
-                .map(|t| t.power_mw)
-                .fold(0.0, f64::max)
-        });
+        .unwrap_or_else(|| 2.0 * tests.iter().map(|t| t.power_mw).fold(0.0, f64::max));
     let plan = schedule::schedule(&tests, budget);
     println!("budget {budget:.2} mW | serial length {serial} patterns");
     for (i, s) in plan.sessions.iter().enumerate() {
@@ -236,7 +252,10 @@ fn evaluate(args: &Args) -> ExitCode {
     println!("{}", experiments::render_table3(&study, &t3));
     let conv = flows::conventional(&study);
     let na = flows::noise_aware(&study);
-    println!("{}", experiments::render_table4(&experiments::table4(&study, &conv)));
+    println!(
+        "{}",
+        experiments::render_table4(&experiments::table4(&study, &conv))
+    );
     println!(
         "{}",
         experiments::render_scap_series("Figure 2", &experiments::fig2(&study, &conv))
@@ -245,9 +264,15 @@ fn evaluate(args: &Args) -> ExitCode {
         "{}",
         experiments::render_scap_series("Figure 6", &experiments::fig6(&study, &na))
     );
-    println!("{}", experiments::render_fig3(&study, &experiments::fig3(&study, &conv)));
+    println!(
+        "{}",
+        experiments::render_fig3(&study, &experiments::fig3(&study, &conv))
+    );
     println!("{}", experiments::render_fig4(&conv, &na));
-    println!("{}", experiments::render_fig7(&experiments::fig7(&study, &na)));
+    println!(
+        "{}",
+        experiments::render_fig7(&experiments::fig7(&study, &na))
+    );
     ExitCode::SUCCESS
 }
 
@@ -265,7 +290,11 @@ fn paths(args: &Args) -> ExitCode {
         sta.worst_slack_ps().unwrap_or(0.0),
         study.period_ps()
     );
-    for (k, p) in sta.worst_paths(&study.design.netlist, count).iter().enumerate() {
+    for (k, p) in sta
+        .worst_paths(&study.design.netlist, count)
+        .iter()
+        .enumerate()
+    {
         println!(
             "path {k}: endpoint {} arrival {:.0} ps slack {:.0} ps depth {}",
             p.endpoint,

@@ -57,11 +57,7 @@ pub fn staged_fill_matrix(study: &CaseStudy) -> Vec<AblationRow> {
             } else {
                 flows::conventional_with(study, config)
             };
-            rows.push(measure(
-                study,
-                &format!("{stage_label}/{fill}"),
-                &flow,
-            ));
+            rows.push(measure(study, &format!("{stage_label}/{fill}"), &flow));
         }
     }
     rows

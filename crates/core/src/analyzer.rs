@@ -2,6 +2,7 @@
 
 use crate::CaseStudy;
 use scap_dft::{FilledPattern, PatternBatch, PatternSet};
+use scap_exec::Executor;
 use scap_netlist::{ClockId, FlopId, Netlist};
 use scap_power::{DynamicAnalysis, IrDropMap, PatternPower, ScapCalculator};
 use scap_sim::{loc, BatchSim, EventSim, ToggleTrace};
@@ -79,7 +80,8 @@ impl<'a> PatternAnalyzer<'a> {
     ) -> (Vec<bool>, Vec<(FlopId, bool, f64)>) {
         let n = self.netlist();
         let b = PatternBatch::pack(std::slice::from_ref(filled));
-        let frames = loc::loc_frames_batch(&self.batch, &b.load_words, &b.pi_words, self.active_clock);
+        let frames =
+            loc::loc_frames_batch(&self.batch, &b.load_words, &b.pi_words, self.active_clock);
         let frame1: Vec<bool> = frames.frame1.iter().map(|w| w & 1 == 1).collect();
         let mut launches = Vec::new();
         for (i, f) in n.flops().iter().enumerate() {
@@ -90,8 +92,7 @@ impl<'a> PatternAnalyzer<'a> {
             let old = b.load_words[i] & 1 == 1;
             let new = frames.state2[i] & 1 == 1;
             if old != new {
-                let t = arrivals.arrival_ps(id).unwrap_or(0.0)
-                    + annotation.flop_clk_to_q_ps(id);
+                let t = arrivals.arrival_ps(id).unwrap_or(0.0) + annotation.flop_clk_to_q_ps(id);
                 launches.push((id, new, t));
             }
         }
@@ -132,9 +133,10 @@ impl<'a> PatternAnalyzer<'a> {
     }
 
     /// SCAP profile of a whole pattern set — the data behind the paper's
-    /// Figures 2 and 6.
+    /// Figures 2 and 6. Patterns are analyzed in parallel (order-stable,
+    /// bit-identical to the serial loop for every thread count).
     pub fn power_profile(&self, set: &PatternSet) -> Vec<PatternPower> {
-        set.filled.iter().map(|f| self.power(f)).collect()
+        Executor::new().parallel_map(&set.filled, |f| self.power(f))
     }
 
     /// Dynamic IR-drop of one pattern.
@@ -146,6 +148,27 @@ impl<'a> PatternAnalyzer<'a> {
             self.study.grid,
         );
         dynir.analyze(&self.study.annotation, &trace)
+    }
+
+    /// Dynamic IR-drop of many patterns. The grid system is assembled
+    /// once, patterns are solved in parallel, and each worker keeps one
+    /// [`scap_power::DynSession`] (reused CG buffers) across its share of
+    /// the patterns. Results are bit-identical to calling
+    /// [`PatternAnalyzer::ir_drop`] per pattern, in order.
+    pub fn ir_drop_profile(&self, patterns: &[FilledPattern]) -> Vec<IrDropMap> {
+        let dynir = DynamicAnalysis::new(
+            self.netlist(),
+            &self.study.design.floorplan,
+            self.study.grid,
+        );
+        Executor::new().parallel_map_with(
+            || dynir.session(),
+            patterns,
+            |session, filled| {
+                let trace = self.trace(filled);
+                session.analyze(&self.study.annotation, &trace)
+            },
+        )
     }
 
     /// Endpoint delays of a pattern under nominal timing.
@@ -222,7 +245,9 @@ mod tests {
     fn random_pattern(study: &CaseStudy, seed: u64) -> FilledPattern {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         FilledPattern {
-            load: (0..study.design.netlist.num_flops()).map(|_| rng.gen()).collect(),
+            load: (0..study.design.netlist.num_flops())
+                .map(|_| rng.gen())
+                .collect(),
             pi: (0..study.design.netlist.primary_inputs().len())
                 .map(|_| rng.gen())
                 .collect(),

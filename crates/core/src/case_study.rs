@@ -65,10 +65,7 @@ impl CaseStudy {
 
     /// Tester cycle of the dominant domain, ps (20 ns in the paper).
     pub fn period_ps(&self) -> f64 {
-        self.design
-            .netlist
-            .clock(self.clka())
-            .period_ps()
+        self.design.netlist.clock(self.clka()).period_ps()
     }
 
     /// Grid calibration: the mesh branch resistance scales inversely with

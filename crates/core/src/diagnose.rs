@@ -147,8 +147,7 @@ mod tests {
             logs.clear();
             for (start, batch) in conv.batches() {
                 let frames = sim.frames(&batch.load_words, &batch.pi_words);
-                let signature =
-                    sim.signature_one(&frames, batch.valid_mask, fault, &mut scratch);
+                let signature = sim.signature_one(&frames, batch.valid_mask, fault, &mut scratch);
                 for bit in 0..batch.count {
                     let failing: Vec<FlopId> = signature
                         .iter()

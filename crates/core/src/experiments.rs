@@ -10,9 +10,7 @@
 use crate::flows::FlowResult;
 use crate::{CaseStudy, PatternAnalyzer};
 use scap_netlist::BlockId;
-use scap_power::{
-    DynamicAnalysis, IrDropMap, StatisticalAnalysis, StatisticalReport,
-};
+use scap_power::{DynamicAnalysis, IrDropMap, StatisticalAnalysis, StatisticalReport};
 use scap_soc::DesignReport;
 use std::fmt::Write as _;
 
@@ -74,10 +72,13 @@ pub struct Table3 {
 pub fn table3(study: &CaseStudy) -> Table3 {
     let stat = StatisticalAnalysis::new(&study.design.netlist, &study.design.floorplan, study.grid);
     let period = study.period_ps();
-    Table3 {
-        case1: stat.run(&study.annotation, TOGGLE_PROBABILITY, period),
-        case2: stat.run(&study.annotation, TOGGLE_PROBABILITY, period / 2.0),
-    }
+    // The two window cases share the (already assembled) grid and are
+    // independent — solve them concurrently.
+    let (case1, case2) = scap_exec::join2(
+        || stat.run(&study.annotation, TOGGLE_PROBABILITY, period),
+        || stat.run(&study.annotation, TOGGLE_PROBABILITY, period / 2.0),
+    );
+    Table3 { case1, case2 }
 }
 
 /// The per-block SCAP screening thresholds (mW): the Case 2 average
@@ -338,11 +339,17 @@ pub fn fig3(study: &CaseStudy, conventional: &FlowResult) -> Fig3 {
         })
         .map(|(i, _)| i)
         .unwrap_or(p1);
+    // One grid assembly, both patterns solved in parallel.
+    let maps = analyzer.ir_drop_profile(&[
+        conventional.patterns.filled[p1].clone(),
+        conventional.patterns.filled[p2].clone(),
+    ]);
+    let mut maps = maps.into_iter();
     Fig3 {
         p1_index: p1,
         p2_index: p2,
-        p1_map: analyzer.ir_drop(&conventional.patterns.filled[p1]),
-        p2_map: analyzer.ir_drop(&conventional.patterns.filled[p2]),
+        p1_map: maps.next().expect("two maps requested"),
+        p2_map: maps.next().expect("two maps requested"),
         scap_mw: (series.scap_mw[p1], series.scap_mw[p2]),
     }
 }
@@ -391,7 +398,11 @@ pub fn render_fig4(conventional: &FlowResult, noise_aware: &FlowResult) -> Strin
             / conventional.patterns.len().max(1) as f64,
     );
     let _ = writeln!(out, "  patterns  conventional  noise-aware");
-    let max_len = conventional.grade.curve.len().max(noise_aware.grade.curve.len());
+    let max_len = conventional
+        .grade
+        .curve
+        .len()
+        .max(noise_aware.grade.curve.len());
     let samples = 12usize.min(max_len.max(1));
     for k in 1..=samples {
         let p = k * max_len / samples;
@@ -458,11 +469,7 @@ impl Fig7 {
 /// threshold — the pattern class the paper picks.
 pub fn fig7(study: &CaseStudy, noise_aware: &FlowResult) -> Fig7 {
     let series = fig6(study, noise_aware);
-    let step3 = noise_aware
-        .steps
-        .last()
-        .map(|&(_, i)| i)
-        .unwrap_or(0);
+    let step3 = noise_aware.steps.last().map(|&(_, i)| i).unwrap_or(0);
     // Highest-SCAP pattern of step 3 that stays below the threshold;
     // fall back to the overall below-threshold max.
     let candidates = |lo: usize| {
@@ -473,9 +480,7 @@ pub fn fig7(study: &CaseStudy, noise_aware: &FlowResult) -> Fig7 {
             .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
             .map(|(i, _)| i + lo)
     };
-    let idx = candidates(step3)
-        .or_else(|| candidates(0))
-        .unwrap_or(0);
+    let idx = candidates(step3).or_else(|| candidates(0)).unwrap_or(0);
     let analyzer = PatternAnalyzer::new(study);
     let (nominal, scaled) = analyzer.endpoint_delays_scaled(&noise_aware.patterns.filled[idx]);
     let endpoints = nominal
@@ -513,7 +518,9 @@ pub fn render_fig7(f: &Fig7) -> String {
     );
     // Histogram of deltas.
     let mut bins = [0usize; 9];
-    let labels = ["<-5%", "-5..0", "0", "0..5", "5..10", "10..15", "15..20", "20..30", ">30%"];
+    let labels = [
+        "<-5%", "-5..0", "0", "0..5", "5..10", "10..15", "15..20", "20..30", ">30%",
+    ];
     for (_, n, s) in &f.endpoints {
         if *n <= 0.0 {
             continue;
@@ -696,11 +703,7 @@ mod tests {
     fn corner_signoff_is_mostly_pessimistic_sometimes_optimistic() {
         let (s, conv, _) = flows::tests::fixture();
         let cmp = corner_comparison(s, conv);
-        let active = cmp
-            .endpoints
-            .iter()
-            .filter(|(_, n, _, _)| *n > 0.0)
-            .count();
+        let active = cmp.endpoints.iter().filter(|(_, n, _, _)| *n > 0.0).count();
         assert!(active > 0);
         // The uniform +25 % corner exceeds the IR-aware delay on most
         // endpoints (only the hot cones see comparable droop slow-down).

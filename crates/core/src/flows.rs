@@ -169,7 +169,11 @@ pub(crate) mod tests {
     #[test]
     fn both_flows_reach_similar_coverage() {
         let (_, conv, na) = fixture();
-        assert!(conv.fault_coverage() > 0.5, "conv {:.3}", conv.fault_coverage());
+        assert!(
+            conv.fault_coverage() > 0.5,
+            "conv {:.3}",
+            conv.fault_coverage()
+        );
         let delta = (conv.fault_coverage() - na.fault_coverage()).abs();
         assert!(
             delta < 0.12,
@@ -219,7 +223,10 @@ pub(crate) mod tests {
         }
         if total > 0 {
             let frac = ones as f64 / total as f64;
-            assert!(frac < 0.10, "B5 load should be quiet before step 3: {frac:.3}");
+            assert!(
+                frac < 0.10,
+                "B5 load should be quiet before step 3: {frac:.3}"
+            );
         }
     }
 }

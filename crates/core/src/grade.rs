@@ -5,9 +5,9 @@
 //! fortuitous detection across staged steps is credited correctly.
 
 use scap_dft::PatternSet;
+use scap_exec::Executor;
 use scap_netlist::{ClockId, Netlist};
-use scap_sim::{FaultList, TransitionFaultSim};
-
+use scap_sim::{FaultList, PropagationScratch, TransitionFaultSim};
 
 /// Result of grading a pattern set.
 #[derive(Clone, Debug)]
@@ -38,6 +38,14 @@ impl GradeResult {
 
 /// Fault-simulates `patterns` in order against `faults` with dropping,
 /// recording each fault's first detecting pattern.
+///
+/// Batches are simulated in *rounds* of up to [`Executor::threads`]
+/// batches each; fault dropping happens between rounds, and within a
+/// round each fault is credited to its earliest detecting pattern
+/// (min-merge). Because the serial algorithm also credits the earliest
+/// detection — dropping only skips simulation of already-credited
+/// faults — the result is bit-identical for every thread count, and a
+/// one-thread executor degenerates to the exact serial loop.
 pub fn grade_patterns(
     netlist: &Netlist,
     active_clock: ClockId,
@@ -45,10 +53,12 @@ pub fn grade_patterns(
     patterns: &PatternSet,
 ) -> GradeResult {
     let sim = TransitionFaultSim::new(netlist, active_clock);
+    let exec = Executor::new();
     let list = faults.faults();
     let mut first_detection: Vec<Option<usize>> = vec![None; list.len()];
     let mut detections_at: Vec<usize> = vec![0; patterns.len() + 1];
-    for (start, batch) in patterns.batches() {
+    let batches: Vec<_> = patterns.batches().collect();
+    for round in batches.chunks(exec.threads().max(1)) {
         let remaining: Vec<usize> = first_detection
             .iter()
             .enumerate()
@@ -59,16 +69,32 @@ pub fn grade_patterns(
             break;
         }
         let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
-        let summary = sim.detect_batch(
-            &batch.load_words,
-            &batch.pi_words,
-            batch.valid_mask,
-            &targets,
+        let summaries = exec.parallel_map_with(
+            || PropagationScratch::new(netlist.num_nets()),
+            round,
+            |scratch, (start, batch)| {
+                (
+                    *start,
+                    sim.detect_batch_with_scratch(
+                        &batch.load_words,
+                        &batch.pi_words,
+                        batch.valid_mask,
+                        &targets,
+                        scratch,
+                    ),
+                )
+            },
         );
         for (k, &fi) in remaining.iter().enumerate() {
-            let mask = summary.detect_mask[k];
-            if mask != 0 {
-                let p = start + mask.trailing_zeros() as usize;
+            let mut best: Option<usize> = None;
+            for (start, summary) in &summaries {
+                let mask = summary.detect_mask[k];
+                if mask != 0 {
+                    let p = start + mask.trailing_zeros() as usize;
+                    best = Some(best.map_or(p, |b| b.min(p)));
+                }
+            }
+            if let Some(p) = best {
                 first_detection[fi] = Some(p);
                 detections_at[p + 1] += 1;
             }
@@ -101,13 +127,20 @@ pub fn compact_patterns(
     patterns: &PatternSet,
 ) -> (Vec<usize>, PatternSet) {
     let sim = TransitionFaultSim::new(netlist, active_clock);
+    let exec = Executor::new();
     let list = faults.faults();
     let mut covered = vec![false; list.len()];
     let mut keep = vec![false; patterns.len()];
-    // Walk batches from the END of the set; within a batch, credit each
-    // fault to its highest-index detecting pattern.
-    let batches: Vec<_> = patterns.batches().collect();
-    for (start, batch) in batches.into_iter().rev() {
+    // Walk batches from the END of the set in rounds of up to
+    // `exec.threads()` batches; within a round, credit each fault to its
+    // highest-index detecting pattern (max-merge). Batch starts differ by
+    // at least 64, so the max over a round always lands in the
+    // highest-start detecting batch — exactly the batch the serial
+    // reverse walk would have credited — and the result is bit-identical
+    // for every thread count.
+    let mut batches: Vec<_> = patterns.batches().collect();
+    batches.reverse();
+    for round in batches.chunks(exec.threads().max(1)) {
         let remaining: Vec<usize> = covered
             .iter()
             .enumerate()
@@ -118,16 +151,32 @@ pub fn compact_patterns(
             break;
         }
         let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
-        let summary = sim.detect_batch(
-            &batch.load_words,
-            &batch.pi_words,
-            batch.valid_mask,
-            &targets,
+        let summaries = exec.parallel_map_with(
+            || PropagationScratch::new(netlist.num_nets()),
+            round,
+            |scratch, (start, batch)| {
+                (
+                    *start,
+                    sim.detect_batch_with_scratch(
+                        &batch.load_words,
+                        &batch.pi_words,
+                        batch.valid_mask,
+                        &targets,
+                        scratch,
+                    ),
+                )
+            },
         );
         for (k, &fi) in remaining.iter().enumerate() {
-            let mask = summary.detect_mask[k];
-            if mask != 0 {
-                let p = start + (63 - mask.leading_zeros() as usize);
+            let mut best: Option<usize> = None;
+            for (start, summary) in &summaries {
+                let mask = summary.detect_mask[k];
+                if mask != 0 {
+                    let p = start + (63 - mask.leading_zeros() as usize);
+                    best = Some(best.map_or(p, |b| b.max(p)));
+                }
+            }
+            if let Some(p) = best {
                 covered[fi] = true;
                 keep[p] = true;
             }
@@ -232,6 +281,9 @@ mod tests {
         for d in grade.first_detection.iter().flatten() {
             assert!(*d < set.len());
         }
-        assert!(grade.num_detected() > 0, "random fill should detect something");
+        assert!(
+            grade.num_detected() > 0,
+            "random fill should detect something"
+        );
     }
 }

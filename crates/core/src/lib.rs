@@ -38,8 +38,8 @@
 
 pub mod ablation;
 mod analyzer;
-pub mod diagnose;
 mod case_study;
+pub mod diagnose;
 pub mod experiments;
 pub mod flows;
 mod grade;
@@ -50,17 +50,17 @@ pub use analyzer::{EndpointDelayReport, PatternAnalyzer};
 pub use case_study::CaseStudy;
 pub use grade::{compact_patterns, grade_patterns, GradeResult};
 
-/// Re-export: netlist, library and floorplan types.
-pub use scap_netlist as netlist;
-/// Re-export: logic/fault/event simulation.
-pub use scap_sim as sim;
 /// Re-export: scan insertion and pattern types.
 pub use scap_dft as dft;
-/// Re-export: the ATPG engine.
-pub use scap_tgen as tgen;
+/// Re-export: netlist, library and floorplan types.
+pub use scap_netlist as netlist;
 /// Re-export: power grid, IR-drop and SCAP models.
 pub use scap_power as power;
-/// Re-export: delay annotation, clock tree, STA, delay scaling.
-pub use scap_timing as timing;
+/// Re-export: logic/fault/event simulation.
+pub use scap_sim as sim;
 /// Re-export: the synthetic SOC generator.
 pub use scap_soc as soc;
+/// Re-export: the ATPG engine.
+pub use scap_tgen as tgen;
+/// Re-export: delay annotation, clock tree, STA, delay scaling.
+pub use scap_timing as timing;

@@ -99,20 +99,14 @@ pub fn serial_length(tests: &[BlockTest]) -> usize {
 /// Derives per-block test descriptors from a flow: pattern counts from
 /// the staged steps (or uniform for a flat flow) and power from the mean
 /// block SCAP over the flow's patterns.
-pub fn block_tests_from_flow(
-    study: &CaseStudy,
-    flow: &crate::flows::FlowResult,
-) -> Vec<BlockTest> {
+pub fn block_tests_from_flow(study: &CaseStudy, flow: &crate::flows::FlowResult) -> Vec<BlockTest> {
     let analyzer = PatternAnalyzer::new(study);
     let profile = analyzer.power_profile(&flow.patterns);
     let n_blocks = study.design.netlist.blocks().len();
     (0..n_blocks)
         .map(|b| {
             let block = BlockId::new(b as u32);
-            let mean = profile
-                .iter()
-                .map(|p| p.scap_vdd_mw(block))
-                .sum::<f64>()
+            let mean = profile.iter().map(|p| p.scap_vdd_mw(block)).sum::<f64>()
                 / profile.len().max(1) as f64;
             BlockTest {
                 block,

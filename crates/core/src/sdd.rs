@@ -60,8 +60,7 @@ impl SddProfile {
             return f64::INFINITY;
         }
         slacks.sort_by(|a, b| a.partial_cmp(b).expect("slacks are finite"));
-        let k = ((slacks.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, slacks.len());
+        let k = ((slacks.len() as f64 * fraction).ceil() as usize).clamp(1, slacks.len());
         slacks[k - 1]
     }
 }

@@ -154,10 +154,7 @@ mod tests {
         for members in &chains {
             // Positions are dense and increasing by construction.
             for (expect, &i) in members.iter().enumerate() {
-                assert_eq!(
-                    n.flops()[i].scan.unwrap().position as usize,
-                    expect
-                );
+                assert_eq!(n.flops()[i].scan.unwrap().position as usize, expect);
             }
         }
     }

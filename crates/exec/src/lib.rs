@@ -1,0 +1,281 @@
+//! Deterministic, zero-dependency parallel execution layer.
+//!
+//! The SCAP hot loops — per-pattern power profiling, per-pattern dynamic
+//! IR-drop solves, and batch fault simulation — are embarrassingly
+//! parallel, but this workspace deliberately carries no thread-pool
+//! dependency (the build environment is offline; see `vendor/`). This
+//! crate provides the small slice of a thread pool those loops actually
+//! need, built on [`std::thread::scope`]:
+//!
+//! * [`Executor::parallel_map`] — order-stable map over a slice. Results
+//!   land at the same index the input had, so output is **bit-identical
+//!   to the serial loop** regardless of thread count or scheduling.
+//! * [`Executor::parallel_map_with`] — the same, with one mutable scratch
+//!   state per worker (reusable solver/simulation buffers).
+//! * [`join2`] / [`Executor::join2`] — run two independent jobs
+//!   concurrently (the VDD and VSS grid solves).
+//!
+//! # Determinism contract
+//!
+//! `parallel_map(items, f)[i] == f(&items[i])` for every `i`, provided
+//! `f` is a pure function of its argument (and of the per-worker state's
+//! initial value, for [`Executor::parallel_map_with`]). Work is handed
+//! out in contiguous chunks via an atomic cursor, and every result is
+//! written to its input's slot; no merge order, reduction order, or
+//! floating-point reassociation depends on the schedule. With one worker
+//! the implementation degenerates to a plain serial `for` loop on the
+//! calling thread.
+//!
+//! # Thread-count selection
+//!
+//! [`Executor::new`] picks the worker count from, in order:
+//! 1. the process-wide override installed by [`set_default_threads`]
+//!    (the CLI's `--threads N`),
+//! 2. the `SCAP_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide default worker count, installed once by the CLI.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Installs the process-wide default worker count used by
+/// [`Executor::new`]. Later calls are ignored (first write wins); returns
+/// whether this call installed the value. `n` is clamped to at least 1.
+pub fn set_default_threads(n: usize) -> bool {
+    DEFAULT_THREADS.set(n.max(1)).is_ok()
+}
+
+/// Reads `SCAP_THREADS`, ignoring unset, empty, or unparsable values.
+fn threads_from_env() -> Option<usize> {
+    let raw = std::env::var("SCAP_THREADS").ok()?;
+    let n: usize = raw.trim().parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// A fixed-width worker pool. Cheap to construct (threads are scoped to
+/// each call, not kept alive), so it is typically built on the fly.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// An executor with the configured default width (see the crate docs
+    /// for the selection order).
+    pub fn new() -> Self {
+        let threads = DEFAULT_THREADS
+            .get()
+            .copied()
+            .or_else(threads_from_env)
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// An executor with exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count this executor uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, in parallel, preserving order: slot `i` of
+    /// the result is `f(&items[i])`. Bit-identical to the serial loop for
+    /// pure `f`.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.parallel_map_with(|| (), items, |(), item| f(item))
+    }
+
+    /// [`Executor::parallel_map`] with a per-worker scratch state: each
+    /// worker calls `init` once, then threads its state through every item
+    /// it processes. Results stay order-stable; determinism additionally
+    /// requires that `f`'s output not depend on the state's history (use
+    /// the state for buffer reuse, not for carrying values across items).
+    pub fn parallel_map_with<S, T, R, I, F>(&self, init: I, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            let mut state = init();
+            return items.iter().map(|item| f(&mut state, item)).collect();
+        }
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        // Chunks are contiguous index ranges claimed from an atomic
+        // cursor. Small enough to balance uneven per-item cost, large
+        // enough to amortize the claim.
+        let chunk = (n / (workers * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let out = SharedSlots(results.as_mut_ptr());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let out = &out;
+                    let mut state = init();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let value = f(&mut state, item);
+                            // SAFETY: index `start + i` is claimed by
+                            // exactly one worker (disjoint cursor ranges)
+                            // and `results` outlives the scope.
+                            unsafe { out.0.add(start + i).write(Some(value)) };
+                        }
+                    }
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Runs two independent jobs, concurrently when this executor has
+    /// more than one worker, and returns both results.
+    pub fn join2<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            (a(), b())
+        } else {
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(b);
+                let ra = a();
+                (ra, handle.join().expect("join2 worker panicked"))
+            })
+        }
+    }
+}
+
+/// Runs two independent jobs on the default executor.
+pub fn join2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    Executor::new().join2(a, b)
+}
+
+/// Raw pointer to the result slots, shared across workers. Safe because
+/// workers write disjoint indices and the vector outlives the scope.
+struct SharedSlots<R>(*mut Option<R>);
+
+unsafe impl<R: Send> Send for SharedSlots<R> {}
+unsafe impl<R: Send> Sync for SharedSlots<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let items: Vec<u64> = (0..1000).collect();
+            let exec = Executor::with_threads(threads);
+            let out = exec.parallel_map(&items, |&x| x * x);
+            let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_degenerate_sizes() {
+        let exec = Executor::with_threads(4);
+        assert_eq!(exec.parallel_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(exec.parallel_map(&[7u32], |&x| x + 1), vec![8]);
+        assert_eq!(
+            exec.parallel_map(&[1u32, 2], |&x| x * 10),
+            vec![10, 20],
+            "fewer items than workers"
+        );
+    }
+
+    #[test]
+    fn parallel_map_with_reuses_worker_state() {
+        let exec = Executor::with_threads(4);
+        let items: Vec<usize> = (0..500).collect();
+        // The scratch buffer is reused across items; its *contents* never
+        // leak into results, so output matches the pure map.
+        let out = exec.parallel_map_with(
+            || Vec::with_capacity(64),
+            &items,
+            |scratch: &mut Vec<usize>, &x| {
+                scratch.clear();
+                scratch.extend(0..x % 7);
+                x + scratch.len()
+            },
+        );
+        let serial: Vec<usize> = items.iter().map(|&x| x + x % 7).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn join2_returns_both_results() {
+        for threads in [1, 2] {
+            let exec = Executor::with_threads(threads);
+            let (a, b) = exec.join2(|| 2 + 2, || "ok".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn executor_clamps_to_one_thread() {
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+        assert!(Executor::new().threads() >= 1);
+    }
+
+    #[test]
+    fn float_sums_are_bit_identical_across_widths() {
+        // Each item's result is internally reassociation-free, so equality
+        // is exact, not approximate.
+        let items: Vec<f64> = (0..300).map(|i| (i as f64).sin()).collect();
+        let work = |&x: &f64| (0..100).fold(x, |acc, i| acc + (i as f64 * x).cos());
+        let serial: Vec<f64> = items.iter().map(work).collect();
+        for threads in [2, 5, 16] {
+            let out = Executor::with_threads(threads).parallel_map(&items, work);
+            assert!(
+                out.iter()
+                    .zip(&serial)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads = {threads}"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Property-based tests: `parallel_map` is a drop-in for the serial map.
+
+use proptest::prelude::*;
+use scap_exec::Executor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Output length equals input length and every slot holds exactly
+    /// `f(&items[i])`, for arbitrary item counts and thread counts.
+    #[test]
+    fn parallel_map_preserves_order_and_count(
+        len in 0usize..400,
+        threads in 1usize..17,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let items: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let f = |&x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let out = Executor::with_threads(threads).parallel_map(&items, f);
+        prop_assert_eq!(out.len(), items.len());
+        let serial: Vec<i64> = items.iter().map(f).collect();
+        prop_assert_eq!(out, serial);
+    }
+
+    /// Per-worker scratch state never changes results relative to serial.
+    #[test]
+    fn parallel_map_with_matches_serial(
+        len in 0usize..200,
+        threads in 1usize..9,
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let out = Executor::with_threads(threads).parallel_map_with(
+            Vec::new,
+            &items,
+            |scratch: &mut Vec<usize>, &x| {
+                scratch.push(x);
+                x * 2
+            },
+        );
+        let serial: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+        prop_assert_eq!(out, serial);
+    }
+}

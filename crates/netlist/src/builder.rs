@@ -298,7 +298,11 @@ mod tests {
         let err = b.add_gate(CellKind::Nand2, &[a], y, blk).unwrap_err();
         assert!(matches!(
             err,
-            BuildError::ArityMismatch { expected: 2, got: 1, .. }
+            BuildError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
     }
 

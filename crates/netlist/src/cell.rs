@@ -261,8 +261,14 @@ mod tests {
         // value dominates.
         assert_eq!(CellKind::And2.eval(&[Logic::X, Logic::Zero]), Logic::Zero);
         assert_eq!(CellKind::And2.eval(&[Logic::X, Logic::One]), Logic::X);
-        assert_eq!(CellKind::Nor3.eval(&[Logic::X, Logic::One, Logic::X]), Logic::Zero);
-        assert_eq!(CellKind::Nand3.eval(&[Logic::Zero, Logic::X, Logic::X]), Logic::One);
+        assert_eq!(
+            CellKind::Nor3.eval(&[Logic::X, Logic::One, Logic::X]),
+            Logic::Zero
+        );
+        assert_eq!(
+            CellKind::Nand3.eval(&[Logic::Zero, Logic::X, Logic::X]),
+            Logic::One
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl fmt::Display for BuildError {
             BuildError::MultipleDrivers { net } => {
                 write!(f, "net {net} has multiple drivers")
             }
-            BuildError::ArityMismatch { gate, expected, got } => {
+            BuildError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate {gate} expects {expected} inputs, got {got}")
             }
             BuildError::UndrivenNet { net } => write!(f, "net {net} has no driver"),
@@ -83,7 +87,9 @@ mod tests {
             BuildError::UndrivenNet { net: NetId::new(3) },
             BuildError::CombinationalLoop { net: NetId::new(4) },
             BuildError::UnknownNet { net: NetId::new(5) },
-            BuildError::FlopConflict { flop: FlopId::new(6) },
+            BuildError::FlopConflict {
+                flop: FlopId::new(6),
+            },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -270,10 +270,7 @@ mod tests {
         b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
         b.add_flop("ff", y, q, clk, ClockEdge::Rising, blk).unwrap();
         let n = b.finish().unwrap();
-        let placement = Placement::new(
-            vec![Point::new(0.0, 0.0)],
-            vec![Point::new(30.0, 40.0)],
-        );
+        let placement = Placement::new(vec![Point::new(0.0, 0.0)], vec![Point::new(30.0, 40.0)]);
         let fp = Floorplan::new(
             &n,
             Die::square(100.0),

@@ -54,8 +54,6 @@ pub use error::BuildError;
 pub use floorplan::{Die, Floorplan, Placement, Point, Rect};
 pub use ids::{BlockId, ClockId, FlopId, GateId, NetId};
 pub use library::{CellParams, Library};
-pub use netlist::{
-    Block, ClockDomain, ClockEdge, Flop, Gate, Net, NetSource, Netlist, ScanRole,
-};
+pub use netlist::{Block, ClockDomain, ClockEdge, Flop, Gate, Net, NetSource, Netlist, ScanRole};
 pub use topo::{Cone, Levelization};
 pub use value::Logic;

@@ -341,7 +341,8 @@ mod tests {
         let q = b.add_net("q");
         let d = b.add_net("d");
         b.add_gate(CellKind::Nand2, &[a, bb], d, blk).unwrap();
-        b.add_flop("ff0", d, q, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff0", d, q, clk, ClockEdge::Rising, blk)
+            .unwrap();
         let out = b.add_net("out");
         b.add_gate(CellKind::Inv, &[q], out, blk).unwrap();
         b.add_primary_output(out);

@@ -81,7 +81,10 @@ impl Logic {
     pub const fn xor(self, rhs: Self) -> Self {
         match (self, rhs) {
             (Logic::X, _) | (_, Logic::X) => Logic::X,
-            (a, b) => Logic::from_bool(!matches!((a, b), (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One))),
+            (a, b) => Logic::from_bool(!matches!(
+                (a, b),
+                (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One)
+            )),
         }
     }
 

@@ -7,8 +7,8 @@
 //! falling edges the VSS network, so a pattern full of rising activity
 //! stresses VDD harder than VSS, exactly as in the paper's Table 4.
 
-use crate::{GridConfig, PowerGrid};
-use scap_netlist::{BlockId, Floorplan, FlopId, GateId, Netlist, NetSource, Point};
+use crate::{GridConfig, GridSolver, PowerGrid};
+use scap_netlist::{BlockId, Floorplan, FlopId, GateId, NetSource, Netlist, Point};
 use scap_sim::ToggleTrace;
 use scap_timing::DelayAnnotation;
 use serde::{Deserialize, Serialize};
@@ -196,6 +196,32 @@ impl<'a> DynamicAnalysis<'a> {
         trace: &ToggleTrace,
         window_ps: f64,
     ) -> IrDropMap {
+        let (node_vdd, node_vss) = self.rail_currents(annotation, trace, window_ps);
+        // The two rail systems are independent: solve them concurrently.
+        let (node_drop_vdd_v, node_drop_vss_v) =
+            scap_exec::join2(|| self.grid.solve(&node_vdd), || self.grid.solve(&node_vss));
+        self.assemble_map(node_drop_vdd_v, node_drop_vss_v)
+    }
+
+    /// A reusable per-thread analysis context: keeps one [`GridSolver`]
+    /// per rail alive across patterns, so back-to-back
+    /// [`DynSession::analyze`] calls skip the per-solve allocations.
+    /// Results are bit-identical to [`DynamicAnalysis::analyze`].
+    pub fn session(&self) -> DynSession<'_, 'a> {
+        DynSession {
+            analysis: self,
+            vdd: self.grid.solver(),
+            vss: self.grid.solver(),
+        }
+    }
+
+    /// Stamps a trace's average per-rail currents onto mesh nodes.
+    fn rail_currents(
+        &self,
+        annotation: &DelayAnnotation,
+        trace: &ToggleTrace,
+        window_ps: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
         let n = self.netlist;
         let vdd = n.library.vdd;
         let stw = window_ps.max(1.0);
@@ -225,26 +251,47 @@ impl<'a> DynamicAnalysis<'a> {
                 _ => {}
             }
         }
-        let node_vdd = self
-            .grid
-            .stamp(n, self.floorplan, &gate_i_vdd, &flop_i_vdd);
-        let node_vss = self
-            .grid
-            .stamp(n, self.floorplan, &gate_i_vss, &flop_i_vss);
-        let node_drop_vdd_v = self.grid.solve(&node_vdd);
-        let node_drop_vss_v = self.grid.solve(&node_vss);
+        (
+            self.grid.stamp(n, self.floorplan, &gate_i_vdd, &flop_i_vdd),
+            self.grid.stamp(n, self.floorplan, &gate_i_vss, &flop_i_vss),
+        )
+    }
+
+    /// Samples the solved node drops at every cell location.
+    fn assemble_map(&self, node_drop_vdd_v: Vec<f64>, node_drop_vss_v: Vec<f64>) -> IrDropMap {
+        let n = self.netlist;
         let sample = |drops: &[f64], p: Point| drops[self.grid.node_of(p)];
         let gate_drop_vdd_v: Vec<f64> = (0..n.num_gates())
-            .map(|i| sample(&node_drop_vdd_v, self.floorplan.placement.gate(GateId::new(i as u32))))
+            .map(|i| {
+                sample(
+                    &node_drop_vdd_v,
+                    self.floorplan.placement.gate(GateId::new(i as u32)),
+                )
+            })
             .collect();
         let gate_drop_vss_v: Vec<f64> = (0..n.num_gates())
-            .map(|i| sample(&node_drop_vss_v, self.floorplan.placement.gate(GateId::new(i as u32))))
+            .map(|i| {
+                sample(
+                    &node_drop_vss_v,
+                    self.floorplan.placement.gate(GateId::new(i as u32)),
+                )
+            })
             .collect();
         let flop_drop_vdd_v: Vec<f64> = (0..n.num_flops())
-            .map(|i| sample(&node_drop_vdd_v, self.floorplan.placement.flop(FlopId::new(i as u32))))
+            .map(|i| {
+                sample(
+                    &node_drop_vdd_v,
+                    self.floorplan.placement.flop(FlopId::new(i as u32)),
+                )
+            })
             .collect();
         let flop_drop_vss_v: Vec<f64> = (0..n.num_flops())
-            .map(|i| sample(&node_drop_vss_v, self.floorplan.placement.flop(FlopId::new(i as u32))))
+            .map(|i| {
+                sample(
+                    &node_drop_vss_v,
+                    self.floorplan.placement.flop(FlopId::new(i as u32)),
+                )
+            })
             .collect();
         IrDropMap {
             node_drop_vdd_v,
@@ -261,6 +308,40 @@ impl<'a> DynamicAnalysis<'a> {
     /// to retime clock-tree buffers.
     pub fn drop_at(&self, map: &IrDropMap, p: Point) -> f64 {
         map.node_drop_vdd_v[self.grid.node_of(p)] + map.node_drop_vss_v[self.grid.node_of(p)]
+    }
+}
+
+/// A per-thread dynamic-analysis context with reusable rail solvers.
+///
+/// Created by [`DynamicAnalysis::session`]. The solvers cold-start every
+/// solve (only allocations are reused), so a session's results are
+/// bit-identical to the one-shot [`DynamicAnalysis::analyze`] path no
+/// matter how patterns are distributed across sessions — the property the
+/// parallel per-pattern loops rely on.
+#[derive(Debug)]
+pub struct DynSession<'d, 'a> {
+    analysis: &'d DynamicAnalysis<'a>,
+    vdd: GridSolver<'d>,
+    vss: GridSolver<'d>,
+}
+
+impl DynSession<'_, '_> {
+    /// [`DynamicAnalysis::analyze`] with reused solver buffers.
+    pub fn analyze(&mut self, annotation: &DelayAnnotation, trace: &ToggleTrace) -> IrDropMap {
+        self.analyze_windowed(annotation, trace, trace.stw_ps())
+    }
+
+    /// [`DynamicAnalysis::analyze_windowed`] with reused solver buffers.
+    pub fn analyze_windowed(
+        &mut self,
+        annotation: &DelayAnnotation,
+        trace: &ToggleTrace,
+        window_ps: f64,
+    ) -> IrDropMap {
+        let (node_vdd, node_vss) = self.analysis.rail_currents(annotation, trace, window_ps);
+        let node_drop_vdd_v = self.vdd.solve(&node_vdd);
+        let node_drop_vss_v = self.vss.solve(&node_vss);
+        self.analysis.assemble_map(node_drop_vdd_v, node_drop_vss_v)
     }
 }
 
@@ -295,7 +376,11 @@ mod tests {
             t.events.push(ToggleEvent {
                 time_ps: 100.0 * (k + 1) as f64,
                 net,
-                rising: if toggles > 1 { k % 2 == (!rising) as usize } else { rising },
+                rising: if toggles > 1 {
+                    k % 2 == (!rising) as usize
+                } else {
+                    rising
+                },
             });
         }
         t
@@ -305,10 +390,14 @@ mod tests {
     fn more_toggles_mean_deeper_drop() {
         let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
         let ann = DelayAnnotation::extract(&n, &fp);
-        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig {
-            branch_resistance_ohm: 50.0,
-            ..GridConfig::default()
-        });
+        let dynir = DynamicAnalysis::new(
+            &n,
+            &fp,
+            GridConfig {
+                branch_resistance_ohm: 50.0,
+                ..GridConfig::default()
+            },
+        );
         let y = NetId::new(1);
         // One toggle over a 900 ps window vs 9 toggles over the same
         // window: 9x the average current density.
@@ -335,10 +424,14 @@ mod tests {
     fn rising_only_trace_loads_vdd_not_vss() {
         let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
         let ann = DelayAnnotation::extract(&n, &fp);
-        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig {
-            branch_resistance_ohm: 50.0,
-            ..GridConfig::default()
-        });
+        let dynir = DynamicAnalysis::new(
+            &n,
+            &fp,
+            GridConfig {
+                branch_resistance_ohm: 50.0,
+                ..GridConfig::default()
+            },
+        );
         let m = dynir.analyze(&ann, &trace_on(NetId::new(1), 1, true));
         assert!(m.worst_drop_vdd() > 0.0);
         assert_eq!(m.worst_drop_vss(), 0.0);
@@ -366,10 +459,14 @@ mod tests {
     fn block_reduction_and_render() {
         let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
         let ann = DelayAnnotation::extract(&n, &fp);
-        let dynir = DynamicAnalysis::new(&n, &fp, GridConfig {
-            branch_resistance_ohm: 100.0,
-            ..GridConfig::default()
-        });
+        let dynir = DynamicAnalysis::new(
+            &n,
+            &fp,
+            GridConfig {
+                branch_resistance_ohm: 100.0,
+                ..GridConfig::default()
+            },
+        );
         let m = dynir.analyze(&ann, &trace_on(NetId::new(1), 1, true));
         let b = scap_netlist::BlockId::new(0);
         assert!(m.worst_block_drop_vdd(&n, b) > 0.0);
@@ -377,6 +474,41 @@ mod tests {
         let art = m.render_vdd_map(n.library.vdd);
         assert_eq!(art.lines().count(), dynir.grid().nodes_per_side());
         assert!(m.red_fraction(0.0) <= 1.0);
+    }
+
+    /// A session (reused solver buffers) reproduces the one-shot path
+    /// bit for bit, across several patterns.
+    #[test]
+    fn session_matches_one_shot_analysis_exactly() {
+        let (n, fp) = single_gate_design(Point::new(500.0, 500.0));
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let dynir = DynamicAnalysis::new(
+            &n,
+            &fp,
+            GridConfig {
+                branch_resistance_ohm: 50.0,
+                ..GridConfig::default()
+            },
+        );
+        let mut session = dynir.session();
+        for toggles in [1usize, 4, 9] {
+            let t = trace_on(NetId::new(1), toggles, true);
+            let one_shot = dynir.analyze(&ann, &t);
+            let via_session = session.analyze(&ann, &t);
+            for (a, b) in one_shot
+                .node_drop_vdd_v
+                .iter()
+                .chain(&one_shot.node_drop_vss_v)
+                .zip(
+                    via_session
+                        .node_drop_vdd_v
+                        .iter()
+                        .chain(&via_session.node_drop_vss_v),
+                )
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "toggles = {toggles}");
+            }
+        }
     }
 
     #[test]

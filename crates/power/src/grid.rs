@@ -1,6 +1,6 @@
 //! The on-chip power-distribution mesh.
 
-use crate::solve::solve_cg;
+use crate::solve::{CgScratch, ReducedSystem};
 use scap_netlist::{Floorplan, FlopId, GateId, Netlist, Point};
 use serde::{Deserialize, Serialize};
 
@@ -49,8 +49,10 @@ impl Default for GridConfig {
 pub struct PowerGrid {
     config: GridConfig,
     die: scap_netlist::Die,
-    branches: Vec<(u32, u32, f64)>,
     pinned: Vec<bool>,
+    /// The reduced Laplacian, assembled once here and shared by every
+    /// solve (assembly used to dominate small-grid solve time).
+    system: ReducedSystem,
 }
 
 impl PowerGrid {
@@ -96,11 +98,12 @@ impl PowerGrid {
             let idx = ring[(k * ring.len()) / pads];
             pinned[idx] = true;
         }
+        let system = ReducedSystem::build(n * n, &branches, &pinned);
         PowerGrid {
             config,
             die,
-            branches,
             pinned,
+            system,
         }
     }
 
@@ -151,12 +154,20 @@ impl PowerGrid {
     /// Solves the mesh for the given per-node current draw (A), returning
     /// the voltage drop (V) at every node.
     pub fn solve(&self, node_currents: &[f64]) -> Vec<f64> {
-        solve_cg(
-            self.num_nodes(),
-            &self.branches,
-            &self.pinned,
-            node_currents,
-        )
+        self.system.solve(node_currents)
+    }
+
+    /// A reusable solver context over this mesh: keeps the CG work
+    /// vectors (and optionally the previous solution) alive across
+    /// solves, eliminating the per-solve allocations of
+    /// [`PowerGrid::solve`]. Create one per thread in hot loops.
+    pub fn solver(&self) -> GridSolver<'_> {
+        GridSolver {
+            system: &self.system,
+            x: Vec::new(),
+            scratch: CgScratch::new(),
+            last_iterations: 0,
+        }
     }
 
     /// Stamps per-instance currents onto mesh nodes.
@@ -185,6 +196,51 @@ impl PowerGrid {
             }
         }
         node
+    }
+}
+
+/// A solver context bound to one [`PowerGrid`], holding reusable CG work
+/// vectors and the previous solution for warm starts.
+///
+/// [`GridSolver::solve`] is bit-identical to [`PowerGrid::solve`] — only
+/// the allocations are reused, not any numeric state — so it is safe in
+/// deterministic parallel loops (one solver per worker).
+/// [`GridSolver::solve_warm`] additionally seeds CG from the previous
+/// solution: it converges to the same tolerance but through different
+/// iterates, so results match cold start only within the solve tolerance
+/// (1e-8 relative residual), and depend on solve order. Use it only in
+/// explicitly serial contexts (e.g. stepping time windows of one
+/// pattern).
+#[derive(Clone, Debug)]
+pub struct GridSolver<'g> {
+    system: &'g ReducedSystem,
+    x: Vec<f64>,
+    scratch: CgScratch,
+    last_iterations: usize,
+}
+
+impl GridSolver<'_> {
+    /// Cold-start solve with reused buffers; bit-identical to
+    /// [`PowerGrid::solve`].
+    pub fn solve(&mut self, node_currents: &[f64]) -> Vec<f64> {
+        self.last_iterations =
+            self.system
+                .solve_into(node_currents, &mut self.x, false, &mut self.scratch);
+        self.system.scatter(&self.x)
+    }
+
+    /// Warm-start solve from the previous solution (the first call is a
+    /// cold start). See the type docs for the determinism caveat.
+    pub fn solve_warm(&mut self, node_currents: &[f64]) -> Vec<f64> {
+        self.last_iterations =
+            self.system
+                .solve_into(node_currents, &mut self.x, true, &mut self.scratch);
+        self.system.scatter(&self.x)
+    }
+
+    /// CG iterations spent by the most recent solve.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
     }
 }
 
@@ -239,10 +295,53 @@ mod tests {
     fn out_of_die_points_clamp() {
         let g = grid();
         assert_eq!(g.node_of(Point::new(-50.0, -50.0)), 0);
-        assert_eq!(
-            g.node_of(Point::new(2000.0, 2000.0)),
-            g.num_nodes() - 1
-        );
+        assert_eq!(g.node_of(Point::new(2000.0, 2000.0)), g.num_nodes() - 1);
+    }
+
+    /// The reusable solver's cold-start path returns exactly what
+    /// `PowerGrid::solve` returns, across repeated solves with different
+    /// right-hand sides.
+    #[test]
+    fn grid_solver_cold_start_is_bit_identical() {
+        let g = grid();
+        let mut solver = g.solver();
+        for case in 0..3 {
+            let currents: Vec<f64> = (0..g.num_nodes())
+                .map(|i| 1e-5 * ((i + case) % 11) as f64)
+                .collect();
+            let reference = g.solve(&currents);
+            let reused = solver.solve(&currents);
+            for (a, b) in reused.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}");
+            }
+        }
+    }
+
+    /// Warm-starting across similar right-hand sides stays within the
+    /// solve tolerance of cold start and spends fewer (or equal) CG
+    /// iterations.
+    #[test]
+    fn grid_solver_warm_start_tracks_cold_start() {
+        let g = grid();
+        let base: Vec<f64> = (0..g.num_nodes()).map(|i| 1e-5 * (i % 7) as f64).collect();
+        let mut warm_solver = g.solver();
+        warm_solver.solve(&base);
+        let cold_reference = g.solver().solve(&base);
+        let scale = cold_reference.iter().cloned().fold(0.0, f64::max);
+
+        let perturbed: Vec<f64> = base.iter().map(|v| v * 1.02).collect();
+        let warm = warm_solver.solve_warm(&perturbed);
+        let warm_iters = warm_solver.last_iterations();
+        let mut cold_solver = g.solver();
+        let cold = cold_solver.solve(&perturbed);
+        let cold_iters = cold_solver.last_iterations();
+        for (w, c) in warm.iter().zip(&cold) {
+            assert!(
+                (w - c).abs() <= 1e-6 * scale.max(1e-12),
+                "warm {w} cold {c}"
+            );
+        }
+        assert!(warm_iters <= cold_iters, "{warm_iters} vs {cold_iters}");
     }
 
     #[test]

@@ -29,8 +29,8 @@ mod solve;
 mod statistical;
 mod waveform;
 
-pub use dynamic::{DynamicAnalysis, IrDropMap};
-pub use grid::{GridConfig, PowerGrid};
+pub use dynamic::{DynSession, DynamicAnalysis, IrDropMap};
+pub use grid::{GridConfig, GridSolver, PowerGrid};
 pub use scap::{BlockPower, PatternPower, ScapCalculator};
 pub use solve::solve_cg;
 pub use statistical::{BlockStatistics, StatisticalAnalysis, StatisticalReport};

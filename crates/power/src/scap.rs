@@ -187,8 +187,10 @@ mod tests {
         b.add_gate(CellKind::Inv, &[q0], w, blk1).unwrap();
         b.add_gate(CellKind::Inv, &[w], d1, blk2).unwrap();
         b.add_gate(CellKind::Buf, &[q0], d0, blk1).unwrap();
-        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk1).unwrap();
-        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk2).unwrap();
+        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk1)
+            .unwrap();
+        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk2)
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -230,9 +232,7 @@ mod tests {
         assert!(b2.energy_vdd_fj > 0.0);
         assert_eq!(b2.energy_vss_fj, 0.0);
         // Chip totals are the block sums (no PI nets toggle here).
-        assert!(
-            (p.chip.energy_vdd_fj - (b1.energy_vdd_fj + b2.energy_vdd_fj)).abs() < 1e-9
-        );
+        assert!((p.chip.energy_vdd_fj - (b1.energy_vdd_fj + b2.energy_vdd_fj)).abs() < 1e-9);
     }
 
     #[test]

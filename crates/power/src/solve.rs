@@ -1,4 +1,11 @@
 //! Sparse SPD linear solve by Jacobi-preconditioned conjugate gradient.
+//!
+//! The grid Laplacian never changes between solves of the same mesh, so
+//! assembly (triplets → reduced CSR) is split out into [`ReducedSystem`],
+//! built once per [`crate::PowerGrid`] and reused for every right-hand
+//! side. Per-solve vector allocations live in [`CgScratch`] so hot loops
+//! (one solve per pattern) can recycle them, and a warm-start entry point
+//! seeds the iteration from a previous solution.
 
 /// A sparse symmetric positive-definite matrix in CSR-lite form, built by
 /// the grid module.
@@ -30,32 +37,73 @@ impl SparseSpd {
     }
 }
 
-/// Solves `A·x = b` for SPD `A` by preconditioned conjugate gradient.
+/// Reusable conjugate-gradient work vectors. One instance per solver
+/// context; every solve resizes them to the system at hand.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CgScratch {
+    b: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Solves `A·x = b` for SPD `A` by preconditioned conjugate gradient,
+/// starting from the value of `x` (pass zeros for the classic cold
+/// start).
 ///
 /// Iterates until the residual 2-norm falls below `tol · max(‖b‖, ε)` or
-/// `max_iter` iterations. Returns the solution (best effort if the
-/// iteration cap is hit — adequate for IR-drop maps, which are consumed
-/// qualitatively).
-pub(crate) fn solve_spd(a: &SparseSpd, b: &[f64], tol: f64, max_iter: usize) -> Vec<f64> {
+/// `max_iter` iterations, and returns the iteration count. The stopping
+/// criterion does not depend on the starting point, so a warm start
+/// converges to the same tolerance as a cold start — typically in fewer
+/// iterations, but to a numerically different (equally valid) iterate.
+pub(crate) fn solve_spd_into(
+    a: &SparseSpd,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    scratch: &mut CgScratch,
+) -> usize {
     let n = a.n();
     assert_eq!(b.len(), n);
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z: Vec<f64> = r
-        .iter()
-        .zip(&a.diag)
-        .map(|(ri, di)| ri / di.max(1e-30))
-        .collect();
-    let mut p = z.clone();
-    let mut ap = vec![0.0; n];
+    assert_eq!(x.len(), n);
+    let r = &mut scratch.r;
+    r.clear();
+    r.extend_from_slice(b);
+    if x.iter().any(|&v| v != 0.0) {
+        // Warm start: r = b − A·x.
+        scratch.ap.resize(n, 0.0);
+        a.mul(x, &mut scratch.ap);
+        for (ri, ai) in r.iter_mut().zip(&scratch.ap) {
+            *ri -= ai;
+        }
+    }
+    let z = &mut scratch.z;
+    z.clear();
+    z.extend(r.iter().zip(&a.diag).map(|(ri, di)| ri / di.max(1e-30)));
+    let p = &mut scratch.p;
+    p.clear();
+    p.extend_from_slice(z);
+    scratch.ap.clear();
+    scratch.ap.resize(n, 0.0);
+    let ap = &mut scratch.ap;
     let b_norm = dot(b, b).sqrt().max(1e-30);
-    let mut rz = dot(&r, &z);
+    let mut rz = dot(r, z);
+    let mut iterations = 0;
     for _ in 0..max_iter {
-        if dot(&r, &r).sqrt() <= tol * b_norm {
+        if dot(r, r).sqrt() <= tol * b_norm {
             break;
         }
-        a.mul(&p, &mut ap);
-        let p_ap = dot(&p, &ap);
+        iterations += 1;
+        a.mul(p, ap);
+        let p_ap = dot(p, ap);
         if p_ap.abs() < 1e-300 {
             break;
         }
@@ -67,14 +115,144 @@ pub(crate) fn solve_spd(a: &SparseSpd, b: &[f64], tol: f64, max_iter: usize) -> 
         for i in 0..n {
             z[i] = r[i] / a.diag[i].max(1e-30);
         }
-        let rz_new = dot(&r, &z);
+        let rz_new = dot(r, z);
         let beta = rz_new / rz.max(1e-300);
         rz = rz_new;
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
         }
     }
-    x
+    iterations
+}
+
+/// A grid system reduced over its Dirichlet (pad) nodes: the free-node
+/// Laplacian in CSR form plus the full-grid ↔ free-node index map.
+/// Assembly happens once; solves reuse it for every right-hand side.
+#[derive(Clone, Debug)]
+pub(crate) struct ReducedSystem {
+    num_nodes: usize,
+    /// Free-node compact index per grid node (`u32::MAX` for pads).
+    index: Vec<u32>,
+    matrix: SparseSpd,
+}
+
+impl ReducedSystem {
+    /// Assembles the reduced Laplacian from branch conductance triplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned.len() != num_nodes` or no node is pinned.
+    pub(crate) fn build(num_nodes: usize, branches: &[(u32, u32, f64)], pinned: &[bool]) -> Self {
+        assert_eq!(pinned.len(), num_nodes);
+        assert!(pinned.iter().any(|&p| p), "at least one pad node required");
+        // Map free nodes to a compact index space.
+        let mut index = vec![u32::MAX; num_nodes];
+        let mut free = 0u32;
+        for i in 0..num_nodes {
+            if !pinned[i] {
+                index[i] = free;
+                free += 1;
+            }
+        }
+        let nf = free as usize;
+        // Assemble the reduced Laplacian.
+        let mut diag = vec![0.0f64; nf];
+        let mut off: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nf];
+        for &(a, b, g) in branches {
+            let (a, b) = (a as usize, b as usize);
+            match (pinned[a], pinned[b]) {
+                (false, false) => {
+                    let (ia, ib) = (index[a] as usize, index[b] as usize);
+                    diag[ia] += g;
+                    diag[ib] += g;
+                    off[ia].push((ib as u32, -g));
+                    off[ib].push((ia as u32, -g));
+                }
+                (false, true) => diag[index[a] as usize] += g,
+                (true, false) => diag[index[b] as usize] += g,
+                (true, true) => {}
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(nf + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        for i in 0..nf {
+            cols.push(i as u32);
+            vals.push(diag[i]);
+            for &(c, v) in &off[i] {
+                cols.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        ReducedSystem {
+            num_nodes,
+            index,
+            matrix: SparseSpd {
+                row_ptr,
+                cols,
+                vals,
+                diag,
+            },
+        }
+    }
+
+    /// Free (non-pad) node count.
+    pub(crate) fn num_free(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// Cold-start solve with a fresh scratch: the reference path. Results
+    /// are bit-identical to assembling and solving from scratch.
+    pub(crate) fn solve(&self, injection: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(injection, &mut x, false, &mut CgScratch::new());
+        self.scatter(&x)
+    }
+
+    /// Solves into a caller-owned reduced solution vector `x`, reusing
+    /// `scratch`. With `warm = false`, `x` is reset to zero first and the
+    /// result is bit-identical to [`ReducedSystem::solve`]; with
+    /// `warm = true`, the iteration starts from `x`'s current content
+    /// (previous solution). Returns the iteration count.
+    pub(crate) fn solve_into(
+        &self,
+        injection: &[f64],
+        x: &mut Vec<f64>,
+        warm: bool,
+        scratch: &mut CgScratch,
+    ) -> usize {
+        assert_eq!(injection.len(), self.num_nodes);
+        let nf = self.num_free();
+        if !warm || x.len() != nf {
+            x.clear();
+            x.resize(nf, 0.0);
+        }
+        let b = &mut scratch.b;
+        b.clear();
+        b.resize(nf, 0.0);
+        for i in 0..self.num_nodes {
+            if self.index[i] != u32::MAX {
+                b[self.index[i] as usize] = injection[i];
+            }
+        }
+        let rhs = std::mem::take(&mut scratch.b);
+        let iters = solve_spd_into(&self.matrix, &rhs, x, 1e-8, 4 * nf + 64, scratch);
+        scratch.b = rhs;
+        iters
+    }
+
+    /// Expands a reduced solution to the full node space (0 at pads).
+    pub(crate) fn scatter(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_nodes];
+        for i in 0..self.num_nodes {
+            if self.index[i] != u32::MAX {
+                out[i] = x[self.index[i] as usize];
+            }
+        }
+        out
+    }
 }
 
 /// Public convenience wrapper: solves a Laplacian-style SPD system given in
@@ -94,68 +272,7 @@ pub fn solve_cg(
     pinned: &[bool],
     injection: &[f64],
 ) -> Vec<f64> {
-    assert_eq!(pinned.len(), num_nodes);
-    assert_eq!(injection.len(), num_nodes);
-    assert!(pinned.iter().any(|&p| p), "at least one pad node required");
-    // Map free nodes to a compact index space.
-    let mut index = vec![u32::MAX; num_nodes];
-    let mut free = 0u32;
-    for i in 0..num_nodes {
-        if !pinned[i] {
-            index[i] = free;
-            free += 1;
-        }
-    }
-    let nf = free as usize;
-    // Assemble the reduced Laplacian.
-    let mut diag = vec![0.0f64; nf];
-    let mut off: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nf];
-    for &(a, b, g) in branches {
-        let (a, b) = (a as usize, b as usize);
-        match (pinned[a], pinned[b]) {
-            (false, false) => {
-                let (ia, ib) = (index[a] as usize, index[b] as usize);
-                diag[ia] += g;
-                diag[ib] += g;
-                off[ia].push((ib as u32, -g));
-                off[ib].push((ia as u32, -g));
-            }
-            (false, true) => diag[index[a] as usize] += g,
-            (true, false) => diag[index[b] as usize] += g,
-            (true, true) => {}
-        }
-    }
-    let mut row_ptr = Vec::with_capacity(nf + 1);
-    let mut cols = Vec::new();
-    let mut vals = Vec::new();
-    row_ptr.push(0u32);
-    for i in 0..nf {
-        cols.push(i as u32);
-        vals.push(diag[i]);
-        for &(c, v) in &off[i] {
-            cols.push(c);
-            vals.push(v);
-        }
-        row_ptr.push(cols.len() as u32);
-    }
-    let a = SparseSpd {
-        row_ptr,
-        cols,
-        vals,
-        diag,
-    };
-    let b: Vec<f64> = (0..num_nodes)
-        .filter(|&i| !pinned[i])
-        .map(|i| injection[i])
-        .collect();
-    let x = solve_spd(&a, &b, 1e-8, 4 * nf + 64);
-    let mut out = vec![0.0; num_nodes];
-    for i in 0..num_nodes {
-        if !pinned[i] {
-            out[i] = x[index[i] as usize];
-        }
-    }
-    out
+    ReducedSystem::build(num_nodes, branches, pinned).solve(injection)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -248,5 +365,84 @@ mod tests {
     #[should_panic(expected = "at least one pad")]
     fn requires_a_pad() {
         let _ = solve_cg(2, &[(0, 1, 1.0)], &[false, false], &[0.0, 1.0]);
+    }
+
+    fn ladder_system() -> (ReducedSystem, Vec<f64>) {
+        let n = 40usize;
+        let branches: Vec<(u32, u32, f64)> = (0..n as u32 - 1).map(|i| (i, i + 1, 0.4)).collect();
+        let mut pinned = vec![false; n];
+        pinned[0] = true;
+        pinned[n - 1] = true;
+        let mut inj = vec![0.0; n];
+        for (i, v) in inj.iter_mut().enumerate() {
+            *v = 1e-3 * (1.0 + (i % 5) as f64);
+        }
+        (ReducedSystem::build(n, &branches, &pinned), inj)
+    }
+
+    /// The cached-system path with reused scratch is bit-identical to the
+    /// one-shot assemble-and-solve path.
+    #[test]
+    fn cached_system_matches_rebuild_exactly() {
+        let n = 40usize;
+        let branches: Vec<(u32, u32, f64)> = (0..n as u32 - 1).map(|i| (i, i + 1, 0.4)).collect();
+        let mut pinned = vec![false; n];
+        pinned[0] = true;
+        pinned[n - 1] = true;
+        let system = ReducedSystem::build(n, &branches, &pinned);
+        let mut x = Vec::new();
+        let mut scratch = CgScratch::new();
+        for case in 0..5 {
+            let inj: Vec<f64> = (0..n).map(|i| 1e-3 * ((i + case) % 7) as f64).collect();
+            let reference = solve_cg(n, &branches, &pinned, &inj);
+            system.solve_into(&inj, &mut x, false, &mut scratch);
+            let reused = system.scatter(&x);
+            assert_eq!(reused.len(), reference.len());
+            for (a, b) in reused.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}");
+            }
+        }
+    }
+
+    /// Warm-starting from a nearby solution converges to the same answer
+    /// within the solve tolerance, in no more iterations than cold start.
+    #[test]
+    fn warm_start_agrees_within_tolerance() {
+        let (system, inj) = ladder_system();
+        let mut x_cold = Vec::new();
+        let mut scratch = CgScratch::new();
+        let cold_iters = system.solve_into(&inj, &mut x_cold, false, &mut scratch);
+        let cold = system.scatter(&x_cold);
+
+        // Perturb the injections slightly and warm-start from the previous
+        // solution.
+        let inj2: Vec<f64> = inj.iter().map(|v| v * 1.01).collect();
+        let mut x_warm = x_cold.clone();
+        let warm_iters = system.solve_into(&inj2, &mut x_warm, true, &mut scratch);
+        let warm = system.scatter(&x_warm);
+        let mut x_cold2 = Vec::new();
+        system.solve_into(&inj2, &mut x_cold2, false, &mut scratch);
+        let cold2 = system.scatter(&x_cold2);
+
+        let scale: f64 = cold.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        for (w, c) in warm.iter().zip(&cold2) {
+            assert!((w - c).abs() <= 1e-6 * scale, "warm {w} vs cold {c}");
+        }
+        assert!(
+            warm_iters <= cold_iters,
+            "warm start took {warm_iters} iterations vs cold {cold_iters}"
+        );
+    }
+
+    /// Warm-starting from the exact solution of the same system converges
+    /// immediately (zero iterations).
+    #[test]
+    fn warm_start_from_exact_solution_is_free() {
+        let (system, inj) = ladder_system();
+        let mut x = Vec::new();
+        let mut scratch = CgScratch::new();
+        system.solve_into(&inj, &mut x, false, &mut scratch);
+        let again = system.solve_into(&inj, &mut x, true, &mut scratch);
+        assert_eq!(again, 0, "resolving the same rhs should be free");
     }
 }

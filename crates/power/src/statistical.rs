@@ -10,7 +10,7 @@
 //! pattern-generation procedure screens against.
 
 use crate::{GridConfig, PowerGrid};
-use scap_netlist::{BlockId, Floorplan, Netlist, NetSource};
+use scap_netlist::{BlockId, Floorplan, NetSource, Netlist};
 use scap_timing::DelayAnnotation;
 use serde::{Deserialize, Serialize};
 
@@ -136,13 +136,17 @@ impl<'a> StatisticalAnalysis<'a> {
         for (i, g) in n.gates().iter().enumerate() {
             visit(
                 g.block,
-                self.floorplan.placement.gate(scap_netlist::GateId::new(i as u32)),
+                self.floorplan
+                    .placement
+                    .gate(scap_netlist::GateId::new(i as u32)),
             );
         }
         for (i, f) in n.flops().iter().enumerate() {
             visit(
                 f.block,
-                self.floorplan.placement.flop(scap_netlist::FlopId::new(i as u32)),
+                self.floorplan
+                    .placement
+                    .flop(scap_netlist::FlopId::new(i as u32)),
             );
         }
         StatisticalReport {
@@ -157,8 +161,8 @@ impl<'a> StatisticalAnalysis<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scap_netlist::{CellKind, ClockEdge, Die, NetlistBuilder, Placement, Point, Rect};
     use rand::{Rng, SeedableRng};
+    use scap_netlist::{CellKind, ClockEdge, Die, NetlistBuilder, Placement, Point, Rect};
 
     /// Two blocks: B1 near the left edge, B2 dense at die center.
     fn two_block_design(gates_b1: usize, gates_b2: usize) -> (Netlist, Floorplan) {
@@ -176,14 +180,20 @@ mod tests {
             let a = pool1[rng.gen_range(0..pool1.len())];
             let y = b.add_net(format!("b1w{i}"));
             b.add_gate(CellKind::Inv, &[a], y, b1).unwrap();
-            gate_xy.push(Point::new(rng.gen_range(10.0..120.0), rng.gen_range(10.0..990.0)));
+            gate_xy.push(Point::new(
+                rng.gen_range(10.0..120.0),
+                rng.gen_range(10.0..990.0),
+            ));
             pool1.push(y);
         }
         for i in 0..gates_b2 {
             let a = pool2[rng.gen_range(0..pool2.len())];
             let y = b.add_net(format!("b2w{i}"));
             b.add_gate(CellKind::Inv, &[a], y, b2).unwrap();
-            gate_xy.push(Point::new(rng.gen_range(400.0..600.0), rng.gen_range(400.0..600.0)));
+            gate_xy.push(Point::new(
+                rng.gen_range(400.0..600.0),
+                rng.gen_range(400.0..600.0),
+            ));
             pool2.push(y);
         }
         let q = b.add_net("q");
@@ -220,10 +230,14 @@ mod tests {
     fn center_block_sees_higher_drop_than_periphery_block() {
         let (n, fp) = two_block_design(80, 80);
         let ann = DelayAnnotation::extract(&n, &fp);
-        let stat = StatisticalAnalysis::new(&n, &fp, GridConfig {
-            branch_resistance_ohm: 4.0,
-            ..GridConfig::default()
-        });
+        let stat = StatisticalAnalysis::new(
+            &n,
+            &fp,
+            GridConfig {
+                branch_resistance_ohm: 4.0,
+                ..GridConfig::default()
+            },
+        );
         let rep = stat.run(&ann, 0.30, 10_000.0);
         assert!(
             rep.blocks[1].worst_drop_vdd_v > rep.blocks[0].worst_drop_vdd_v,

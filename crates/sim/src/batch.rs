@@ -109,8 +109,8 @@ impl<'a> BatchSim<'a> {
 mod tests {
     use super::*;
     use crate::LogicSim;
-    use scap_netlist::{CellKind, ClockEdge, Logic, NetlistBuilder};
     use rand::{Rng, SeedableRng};
+    use scap_netlist::{CellKind, ClockEdge, Logic, NetlistBuilder};
 
     fn random_netlist(seed: u64) -> Netlist {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -164,14 +164,16 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
             for _ in 0..10 {
                 let flop_bits: Vec<bool> = (0..n.num_flops()).map(|_| rng.gen()).collect();
-                let pi_bits: Vec<bool> =
-                    (0..n.primary_inputs().len()).map(|_| rng.gen()).collect();
+                let pi_bits: Vec<bool> = (0..n.primary_inputs().len()).map(|_| rng.gen()).collect();
                 let words = batch.eval(
                     &flop_bits.iter().map(|&b| b as u64).collect::<Vec<_>>(),
                     &pi_bits.iter().map(|&b| b as u64).collect::<Vec<_>>(),
                 );
                 let logics = scalar.eval(
-                    &flop_bits.iter().map(|&b| Logic::from(b)).collect::<Vec<_>>(),
+                    &flop_bits
+                        .iter()
+                        .map(|&b| Logic::from(b))
+                        .collect::<Vec<_>>(),
                     &pi_bits.iter().map(|&b| Logic::from(b)).collect::<Vec<_>>(),
                     None,
                 );

@@ -283,7 +283,7 @@ fn fs_to_ps(fs: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BatchSim, loc::loc_frames_batch};
+    use crate::{loc::loc_frames_batch, BatchSim};
     use scap_netlist::{CellKind, ClockEdge, ClockId, GateId, NetlistBuilder};
 
     /// ff0 -> inv -> inv -> ff1 (chain of 2 inverters).
@@ -299,15 +299,19 @@ mod tests {
         b.add_gate(CellKind::Inv, &[q0], w, blk).unwrap();
         b.add_gate(CellKind::Inv, &[w], d1, blk).unwrap();
         b.add_gate(CellKind::Buf, &[q0], d0, blk).unwrap();
-        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk).unwrap();
-        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk)
+            .unwrap();
         b.finish().unwrap()
     }
 
     fn stable_frame1(n: &Netlist, q0: bool) -> Vec<bool> {
         let batch = BatchSim::new(n);
         let frames = loc_frames_batch(&batch, &[q0 as u64, 0], &[], ClockId::new(0));
-        (0..n.num_nets()).map(|i| frames.frame1[i] & 1 == 1).collect()
+        (0..n.num_nets())
+            .map(|i| frames.frame1[i] & 1 == 1)
+            .collect()
     }
 
     #[test]
@@ -323,11 +327,12 @@ mod tests {
         let d1 = n.flop(FlopId::new(1)).d;
         assert_eq!(trace.last_change_ps(q0), Some(500.0));
         let t_d1 = trace.last_change_ps(d1).unwrap();
-        let expect = 500.0
-            + ann.gate_fall_ps(GateId::new(0))
-            + ann.gate_rise_ps(GateId::new(1));
+        let expect = 500.0 + ann.gate_fall_ps(GateId::new(0)) + ann.gate_rise_ps(GateId::new(1));
         assert!((t_d1 - expect).abs() < 1e-6, "{t_d1} vs {expect}");
-        assert_eq!(trace.stw_ps(), t_d1.max(trace.last_change_ps(n.flop(FlopId::new(0)).d).unwrap()));
+        assert_eq!(
+            trace.stw_ps(),
+            t_d1.max(trace.last_change_ps(n.flop(FlopId::new(0)).d).unwrap())
+        );
     }
 
     #[test]
@@ -372,8 +377,10 @@ mod tests {
         b.add_gate(CellKind::Xor2, &[slow2, q1], y, blk).unwrap();
         b.add_gate(CellKind::Buf, &[q0], d0, blk).unwrap();
         b.add_gate(CellKind::Buf, &[q1], d1, blk).unwrap();
-        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk).unwrap();
-        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk)
+            .unwrap();
         let n = b.finish().unwrap();
         let ann = DelayAnnotation::unit_wire(&n);
         let sim = EventSim::new(&n, &ann);
@@ -385,11 +392,7 @@ mod tests {
         );
         // y rises when q1 arrives, then falls when the slow path arrives:
         // two toggles on y despite identical start/end value.
-        let y_toggles = trace
-            .events
-            .iter()
-            .filter(|e| e.net == y)
-            .count();
+        let y_toggles = trace.events.iter().filter(|e| e.net == y).count();
         assert_eq!(y_toggles, 2, "glitch must be visible");
         let (rise, fall) = trace.toggle_counts(n.num_nets())[y.index()];
         assert_eq!((rise, fall), (1, 1));

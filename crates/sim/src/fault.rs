@@ -140,7 +140,10 @@ impl FaultList {
                         if multi {
                             for p in Polarity::BOTH {
                                 faults.push(TransitionFault::new(
-                                    FaultSite::Pin { gate: g, pin: pin as u8 },
+                                    FaultSite::Pin {
+                                        gate: g,
+                                        pin: pin as u8,
+                                    },
                                     p,
                                 ));
                             }
@@ -152,7 +155,10 @@ impl FaultList {
             // equivalent to the stem for detection purposes.
             uncollapsed += 2 * netlist.fanout_flops(id).len();
         }
-        FaultList { faults, uncollapsed }
+        FaultList {
+            faults,
+            uncollapsed,
+        }
     }
 
     /// Builds the fault list restricted to cells of the given blocks
@@ -180,7 +186,10 @@ impl FaultList {
     /// Builds a list from an explicit fault set (e.g. a filtered subset of
     /// another list). `uncollapsed` is carried through for reporting.
     pub fn from_faults(faults: Vec<TransitionFault>, uncollapsed: usize) -> Self {
-        FaultList { faults, uncollapsed }
+        FaultList {
+            faults,
+            uncollapsed,
+        }
     }
 
     /// Collapsed faults, the working set for ATPG and fault simulation.
@@ -213,7 +222,8 @@ mod tests {
         b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
         b.add_gate(CellKind::Buf, &[y], z1, blk).unwrap();
         b.add_gate(CellKind::Buf, &[y], z2, blk2).unwrap();
-        b.add_flop("ff", z1, q, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff", z1, q, clk, ClockEdge::Rising, blk)
+            .unwrap();
         b.add_primary_output(z2);
         b.add_primary_output(q);
         b.finish().unwrap()

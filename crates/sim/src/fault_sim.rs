@@ -9,8 +9,8 @@
 //! not measured, per the paper's low-cost-tester setup).
 
 use crate::loc::{loc_frames_batch, los_frames_batch, BatchFrames};
-use crate::{BatchSim, FaultSite, TransitionFault};
 use crate::Polarity;
+use crate::{BatchSim, FaultSite, TransitionFault};
 use scap_netlist::{ClockId, GateId, Netlist};
 use serde::{Deserialize, Serialize};
 
@@ -124,13 +124,27 @@ impl<'a> TransitionFaultSim<'a> {
         valid_mask: u64,
         faults: &[TransitionFault],
     ) -> DetectionSummary {
+        let mut scratch = PropagationScratch::new(self.batch.netlist().num_nets());
+        self.detect_batch_with_scratch(load, pi, valid_mask, faults, &mut scratch)
+    }
+
+    /// Like [`TransitionFaultSim::detect_batch`] but reuses caller-owned
+    /// propagation buffers — avoids one diff-vector allocation per batch
+    /// when grading many batches (e.g. one scratch per worker thread).
+    pub fn detect_batch_with_scratch(
+        &self,
+        load: &[u64],
+        pi: &[u64],
+        valid_mask: u64,
+        faults: &[TransitionFault],
+        scratch: &mut PropagationScratch,
+    ) -> DetectionSummary {
         let frames = self.frames(load, pi);
         let mut summary = DetectionSummary {
             detect_mask: Vec::with_capacity(faults.len()),
         };
-        let mut scratch = PropagationScratch::new(self.batch.netlist().num_nets());
         for fault in faults {
-            let mask = self.detect_one(&frames, valid_mask, *fault, &mut scratch);
+            let mask = self.detect_one(&frames, valid_mask, *fault, scratch);
             summary.detect_mask.push(mask);
         }
         summary
@@ -350,7 +364,9 @@ impl PropagationScratch {
     }
 
     fn pop(&mut self) -> Option<GateId> {
-        self.queue.pop().map(|std::cmp::Reverse((_, g))| GateId::new(g))
+        self.queue
+            .pop()
+            .map(|std::cmp::Reverse((_, g))| GateId::new(g))
     }
 }
 
@@ -371,8 +387,10 @@ mod tests {
         let d1 = b.add_net("d1");
         b.add_gate(CellKind::Inv, &[q0], d0, blk).unwrap();
         b.add_gate(CellKind::Inv, &[q0], d1, blk).unwrap();
-        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk).unwrap();
-        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff0", d0, q0, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ff1", d1, q1, clk, ClockEdge::Rising, blk)
+            .unwrap();
         b.finish().unwrap()
     }
 

@@ -55,12 +55,7 @@ pub fn loc_frames(
 ///
 /// `scan_in` supplies the bit entering each chain head. Flops without a
 /// scan role hold their value.
-pub fn los_frames(
-    sim: &LogicSim<'_>,
-    load: &[Logic],
-    pi: &[Logic],
-    scan_in: Logic,
-) -> Frames {
+pub fn los_frames(sim: &LogicSim<'_>, load: &[Logic], pi: &[Logic], scan_in: Logic) -> Frames {
     let netlist = sim.netlist();
     let frame1 = sim.eval(load, pi, None);
     let state2 = shift_state(netlist, load, scan_in);
@@ -139,19 +134,18 @@ pub fn shift_state_words(netlist: &Netlist, load: &[u64], scan_in: u64) -> Vec<u
         chain.sort_unstable();
         for w in (0..chain.len()).rev() {
             let (_, flop) = chain[w];
-            out[flop] = if w == 0 { scan_in } else { load[chain[w - 1].1] };
+            out[flop] = if w == 0 {
+                scan_in
+            } else {
+                load[chain[w - 1].1]
+            };
         }
     }
     out
 }
 
 /// Bit-parallel LOS frames for fully-specified pattern batches.
-pub fn los_frames_batch(
-    sim: &BatchSim<'_>,
-    load: &[u64],
-    pi: &[u64],
-    scan_in: u64,
-) -> BatchFrames {
+pub fn los_frames_batch(sim: &BatchSim<'_>, load: &[u64], pi: &[u64], scan_in: u64) -> BatchFrames {
     let netlist = sim.netlist();
     let frame1 = sim.eval(load, pi);
     let state2 = shift_state_words(netlist, load, scan_in);
@@ -222,8 +216,10 @@ mod tests {
         let d1 = b.add_net("d1");
         b.add_gate(CellKind::Inv, &[q0], d0, blk).unwrap();
         b.add_gate(CellKind::Inv, &[q1], d1, blk).unwrap();
-        b.add_flop("ff0", d0, q0, clka, ClockEdge::Rising, blk).unwrap();
-        b.add_flop("ff1", d1, q1, clkb, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff0", d0, q0, clka, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ff1", d1, q1, clkb, ClockEdge::Rising, blk)
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -231,12 +227,7 @@ mod tests {
     fn loc_pulses_only_active_domain() {
         let n = two_domain();
         let sim = LogicSim::new(&n);
-        let frames = loc_frames(
-            &sim,
-            &[Logic::Zero, Logic::Zero],
-            &[],
-            ClockId::new(0),
-        );
+        let frames = loc_frames(&sim, &[Logic::Zero, Logic::Zero], &[], ClockId::new(0));
         // ff0 launches 0 -> 1; ff1 holds its load.
         assert_eq!(frames.state2, vec![Logic::One, Logic::Zero]);
     }
@@ -249,19 +240,27 @@ mod tests {
         let s = loc_frames(&scalar, &[Logic::One, Logic::Zero], &[], ClockId::new(0));
         let w = loc_frames_batch(&batch, &[1, 0], &[], ClockId::new(0));
         for i in 0..n.num_nets() {
-            assert_eq!(
-                w.frame2[i] & 1 == 1,
-                s.frame2[i] == Logic::One,
-                "net {i}"
-            );
+            assert_eq!(w.frame2[i] & 1 == 1, s.frame2[i] == Logic::One, "net {i}");
         }
     }
 
     #[test]
     fn los_shifts_along_chain() {
         let mut n = two_domain();
-        n.set_scan_role(scap_netlist::FlopId::new(0), ScanRole { chain: 0, position: 0 });
-        n.set_scan_role(scap_netlist::FlopId::new(1), ScanRole { chain: 0, position: 1 });
+        n.set_scan_role(
+            scap_netlist::FlopId::new(0),
+            ScanRole {
+                chain: 0,
+                position: 0,
+            },
+        );
+        n.set_scan_role(
+            scap_netlist::FlopId::new(1),
+            ScanRole {
+                chain: 0,
+                position: 1,
+            },
+        );
         let sim = LogicSim::new(&n);
         let frames = los_frames(&sim, &[Logic::One, Logic::Zero], &[], Logic::Zero);
         // position 0 gets scan_in (0), position 1 gets old position 0 (1).

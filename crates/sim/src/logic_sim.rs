@@ -91,10 +91,14 @@ impl<'a> LogicSim<'a> {
             }
         }
         let (net_inject, pin_inject) = match inject {
-            Some(Injection { site: FaultSite::Net(net), value }) => (Some((net, value)), None),
-            Some(Injection { site: FaultSite::Pin { gate, pin }, value }) => {
-                (None, Some((gate, pin, value)))
-            }
+            Some(Injection {
+                site: FaultSite::Net(net),
+                value,
+            }) => (Some((net, value)), None),
+            Some(Injection {
+                site: FaultSite::Pin { gate, pin },
+                value,
+            }) => (None, Some((gate, pin, value))),
             None => (None, None),
         };
         // Apply net injection to source nets too (PI / flop Q stems).

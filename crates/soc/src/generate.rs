@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scap_dft::{insert_scan, ChainReport, ScanConfig};
 use scap_netlist::{
-    BlockId, CellKind, ClockEdge, ClockId, Die, Floorplan, Netlist, NetlistBuilder, NetId,
+    BlockId, CellKind, ClockEdge, ClockId, Die, Floorplan, NetId, Netlist, NetlistBuilder,
     Placement, Point, Rect,
 };
 use serde::{Deserialize, Serialize};
@@ -93,7 +93,12 @@ impl SocPlan {
         SocPlan {
             blocks: (1..=6).map(|i| format!("B{i}")).collect(),
             domains: vec![
-                d("clka", 50.0e6, 18_000.0, [0.12, 0.10, 0.12, 0.08, 0.38, 0.20]),
+                d(
+                    "clka",
+                    50.0e6,
+                    18_000.0,
+                    [0.12, 0.10, 0.12, 0.08, 0.38, 0.20],
+                ),
                 d("clkb", 100.0e6, 1_473.0, [1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
                 d("clkc", 33.0e6, 1_100.0, [0.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
                 d("clkd", 25.0e6, 900.0, [0.0, 0.0, 0.0, 0.0, 0.0, 1.0]),
@@ -135,7 +140,11 @@ impl SocDesign {
     /// layout).
     pub fn generate_with_plan(config: &SocConfig, plan: &SocPlan) -> Self {
         assert!(!plan.domains.is_empty(), "plan needs at least one domain");
-        assert_eq!(plan.blocks.len(), 6, "the built-in floorplan has six block slots");
+        assert_eq!(
+            plan.blocks.len(),
+            6,
+            "the built-in floorplan has six block slots"
+        );
         for d in &plan.domains {
             assert_eq!(
                 d.block_shares.len(),
@@ -210,8 +219,9 @@ impl SocDesign {
                 .filter(|(_, &(blk, _, _))| blk == block)
                 .map(|(i, _)| i)
                 .collect();
-            let n_gates =
-                ((flops_here.len() as f64) * config.gates_per_flop).round().max(4.0) as usize;
+            let n_gates = ((flops_here.len() as f64) * config.gates_per_flop)
+                .round()
+                .max(4.0) as usize;
             let sources: Vec<NetId> = q_by_block[bi].clone();
             let cloud = build_cloud(
                 &mut b,
@@ -245,7 +255,11 @@ impl SocDesign {
                     a
                 };
                 let y = b.add_net(format!("b{bi}_red{}", pool.len()));
-                let kind = if rng.gen() { CellKind::Xor2 } else { CellKind::Or2 };
+                let kind = if rng.gen() {
+                    CellKind::Xor2
+                } else {
+                    CellKind::Or2
+                };
                 b.add_gate(kind, &[a, c], y, block).expect("compactor gate");
                 let zv = kind.eval_bool(&[zero_value[a.index()], zero_value[c.index()]]);
                 push_zero_value(&mut zero_value, y, zv);
@@ -484,7 +498,8 @@ fn build_cloud(
                 .take(taps_per_spine);
             for (k, tap) in taps.enumerate() {
                 let y = b.add_net(format!("b{bi}_spine{sp}_{k}"));
-                b.add_gate(CellKind::Xor2, &[spine, tap], y, block).expect("spine gate");
+                b.add_gate(CellKind::Xor2, &[spine, tap], y, block)
+                    .expect("spine gate");
                 let zv = zero_value[spine.index()] ^ zero_value[tap.index()];
                 push_zero_value(zero_value, y, zv);
                 spine = y;
@@ -575,7 +590,10 @@ mod tests {
     fn all_cells_are_inside_their_block_rect() {
         let d = SocDesign::generate(&SocConfig::turbo_eagle(0.01));
         for (i, g) in d.netlist.gates().iter().enumerate() {
-            let p = d.floorplan.placement.gate(scap_netlist::GateId::new(i as u32));
+            let p = d
+                .floorplan
+                .placement
+                .gate(scap_netlist::GateId::new(i as u32));
             assert!(
                 d.floorplan.block_rect(g.block).contains(p),
                 "gate {i} outside {:?}",
@@ -583,7 +601,10 @@ mod tests {
             );
         }
         for (i, f) in d.netlist.flops().iter().enumerate() {
-            let p = d.floorplan.placement.flop(scap_netlist::FlopId::new(i as u32));
+            let p = d
+                .floorplan
+                .placement
+                .flop(scap_netlist::FlopId::new(i as u32));
             assert!(d.floorplan.block_rect(f.block).contains(p));
         }
     }
@@ -618,7 +639,10 @@ mod tests {
         let cfg = SocConfig::turbo_eagle(0.01);
         let d = SocDesign::generate_with_plan(&cfg, &plan);
         assert_eq!(d.netlist.clocks().len(), 2);
-        assert_eq!(d.netlist.clock(scap_netlist::ClockId::new(0)).name, "cpu_clk");
+        assert_eq!(
+            d.netlist.clock(scap_netlist::ClockId::new(0)).name,
+            "cpu_clk"
+        );
         assert_eq!(d.netlist.blocks()[0].name, "CORE0");
         assert!(d.netlist.num_flops() > 50);
     }
@@ -636,8 +660,8 @@ mod tests {
     /// This is what makes fill-0 keep untargeted blocks quiet.
     #[test]
     fn all_zero_state_is_quiescent() {
-        use scap_sim::{loc, LogicSim};
         use scap_netlist::Logic;
+        use scap_sim::{loc, LogicSim};
         let d = SocDesign::generate(&SocConfig::turbo_eagle(0.015));
         let n = &d.netlist;
         let sim = LogicSim::new(n);
@@ -654,6 +678,9 @@ mod tests {
         let cfg = SocConfig::turbo_eagle(0.02);
         let d = SocDesign::generate(&cfg);
         let r = d.netlist.num_gates() as f64 / d.netlist.num_flops() as f64;
-        assert!(r > 0.7 * cfg.gates_per_flop && r < 2.0 * cfg.gates_per_flop, "{r}");
+        assert!(
+            r > 0.7 * cfg.gates_per_flop && r < 2.0 * cfg.gates_per_flop,
+            "{r}"
+        );
     }
 }

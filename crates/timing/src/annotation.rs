@@ -118,6 +118,13 @@ impl DelayAnnotation {
         self.net_total_cap_ff[n.index()]
     }
 
+    /// Capacitance the driver sees for delay purposes, fF: total cap with
+    /// the wire portion clamped to the library's buffered-wire limit.
+    #[inline]
+    pub fn net_delay_cap_ff(&self, n: NetId) -> f64 {
+        self.net_delay_cap_ff[n.index()]
+    }
+
     /// Number of annotated gates.
     pub fn num_gates(&self) -> usize {
         self.gate_rise_ps.len()
@@ -129,9 +136,7 @@ impl DelayAnnotation {
     }
 
     /// Mutable access used by [`crate::scaling`].
-    pub(crate) fn delays_mut(
-        &mut self,
-    ) -> (&mut [f64], &mut [f64], &mut [f64]) {
+    pub(crate) fn delays_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64]) {
         (
             &mut self.gate_rise_ps,
             &mut self.gate_fall_ps,
@@ -157,7 +162,8 @@ mod tests {
         b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
         b.add_gate(CellKind::Buf, &[y], z1, blk).unwrap();
         b.add_gate(CellKind::Buf, &[y], z2, blk).unwrap();
-        b.add_flop("ff", z1, q, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff", z1, q, clk, ClockEdge::Rising, blk)
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -180,10 +186,7 @@ mod tests {
             &n,
             Die::square(1000.0),
             vec![Rect::new(0.0, 0.0, 1000.0, 1000.0)],
-            Placement::new(
-                vec![Point::new(0.0, 0.0); 3],
-                vec![Point::new(0.0, 0.0); 1],
-            ),
+            Placement::new(vec![Point::new(0.0, 0.0); 3], vec![Point::new(0.0, 0.0); 1]),
         );
         let far = Floorplan::new(
             &n,

@@ -280,10 +280,8 @@ mod tests {
         let tree = ClockTree::synthesize(&n, &fp, ClockId::new(0));
         let nominal = tree.arrivals();
         // Droop only in the lower-right quadrant.
-        let dropped = tree.arrivals_with_drop(
-            |p| if p.x > 500.0 && p.y < 500.0 { 0.3 } else { 0.0 },
-            0.9,
-        );
+        let dropped =
+            tree.arrivals_with_drop(|p| if p.x > 500.0 && p.y < 500.0 { 0.3 } else { 0.0 }, 0.9);
         let mut delayed = 0;
         let mut unchanged = 0;
         for (f, t) in nominal.iter() {

@@ -50,7 +50,11 @@ pub fn at_corner(annotation: &DelayAnnotation, corner: Corner) -> DelayAnnotatio
         // Fast corner: shrink directly.
         let mut out = annotation.clone();
         let (rise, fall, ck2q) = out.delays_mut();
-        for v in rise.iter_mut().chain(fall.iter_mut()).chain(ck2q.iter_mut()) {
+        for v in rise
+            .iter_mut()
+            .chain(fall.iter_mut())
+            .chain(ck2q.iter_mut())
+        {
             *v *= corner.delay_factor();
         }
         out
@@ -113,7 +117,7 @@ pub fn scale_factor(delta_v: f64, k_volt_per_volt: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scap_netlist::{CellKind, GateId, FlopId, ClockEdge, NetlistBuilder};
+    use scap_netlist::{CellKind, ClockEdge, FlopId, GateId, NetlistBuilder};
 
     fn ann() -> (scap_netlist::Netlist, DelayAnnotation) {
         let mut b = NetlistBuilder::new("d");
@@ -167,7 +171,10 @@ mod tests {
     fn negative_droop_is_clamped() {
         let (_, a) = ann();
         let scaled = scale_annotation(&a, &[-0.5], &[-0.1], 0.9);
-        assert_eq!(scaled.gate_rise_ps(GateId::new(0)), a.gate_rise_ps(GateId::new(0)));
+        assert_eq!(
+            scaled.gate_rise_ps(GateId::new(0)),
+            a.gate_rise_ps(GateId::new(0))
+        );
         assert_eq!(
             scaled.flop_clk_to_q_ps(FlopId::new(0)),
             a.flop_clk_to_q_ps(FlopId::new(0))

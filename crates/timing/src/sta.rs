@@ -223,8 +223,10 @@ mod tests {
             prev = y;
         }
         let q1 = b.add_net("q1");
-        b.add_flop("ff0", pi, q0, clk, ClockEdge::Rising, blk).unwrap();
-        b.add_flop("ff1", prev, q1, clk, ClockEdge::Rising, blk).unwrap();
+        b.add_flop("ff0", pi, q0, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ff1", prev, q1, clk, ClockEdge::Rising, blk)
+            .unwrap();
         let n = b.finish().unwrap();
         let fp = Floorplan::new(
             &n,

@@ -88,8 +88,7 @@ fn main() {
         logs.clear();
         for (start, batch) in set.batches() {
             let frames = sim.frames(&batch.load_words, &batch.pi_words);
-            let signature =
-                sim.signature_one(&frames, batch.valid_mask, candidate, &mut scratch);
+            let signature = sim.signature_one(&frames, batch.valid_mask, candidate, &mut scratch);
             for bit in 0..batch.count {
                 let failing: Vec<_> = signature
                     .iter()
@@ -111,7 +110,11 @@ fn main() {
     }
     logs.truncate(4);
     let candidates = diagnose(n, study.clka(), &faults, &set, &logs, 5);
-    println!("\ndiagnosis of {} fail logs (injected {:?}):", logs.len(), defect);
+    println!(
+        "\ndiagnosis of {} fail logs (injected {:?}):",
+        logs.len(),
+        defect
+    );
     for c in &candidates {
         println!("  {:>5.2}  {:?}", c.score, c.fault);
     }
@@ -119,11 +122,7 @@ fn main() {
     // --- power-constrained scheduling ---------------------------------
     let flow = scap::flows::conventional(&study);
     let tests = schedule::block_tests_from_flow(&study, &flow);
-    let budget = 1.5
-        * tests
-            .iter()
-            .map(|t| t.power_mw)
-            .fold(0.0f64, f64::max);
+    let budget = 1.5 * tests.iter().map(|t| t.power_mw).fold(0.0f64, f64::max);
     let plan = schedule::schedule(&tests, budget);
     println!(
         "\nscheduling under {budget:.2} mW: {} sessions, {} patterns ({} serial)",

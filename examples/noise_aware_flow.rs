@@ -25,12 +25,21 @@ fn main() {
         println!("  {label}: starts at pattern {start}");
     }
 
-    println!("\n{}", experiments::render_fig4(&conventional, &noise_aware));
+    println!(
+        "\n{}",
+        experiments::render_fig4(&conventional, &noise_aware)
+    );
 
     let fig2 = experiments::fig2(&study, &conventional);
     let fig6 = experiments::fig6(&study, &noise_aware);
-    println!("{}", experiments::render_scap_series("Figure 2 (random-fill B5 SCAP)", &fig2));
-    println!("{}", experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &fig6));
+    println!(
+        "{}",
+        experiments::render_scap_series("Figure 2 (random-fill B5 SCAP)", &fig2)
+    );
+    println!(
+        "{}",
+        experiments::render_scap_series("Figure 6 (noise-aware B5 SCAP)", &fig6)
+    );
     println!(
         "patterns above the B5 threshold: conventional {} / noise-aware {}\n",
         fig2.above.len(),

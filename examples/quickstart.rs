@@ -32,8 +32,14 @@ fn main() {
     // SCAP screening in the hot block B5.
     let fig2 = experiments::fig2(&study, &conventional);
     let fig6 = experiments::fig6(&study, &noise_aware);
-    println!("{}", experiments::render_scap_series("random-fill  B5 SCAP", &fig2));
-    println!("{}", experiments::render_scap_series("noise-aware  B5 SCAP", &fig6));
+    println!(
+        "{}",
+        experiments::render_scap_series("random-fill  B5 SCAP", &fig2)
+    );
+    println!(
+        "{}",
+        experiments::render_scap_series("noise-aware  B5 SCAP", &fig6)
+    );
 
     // Worst pattern's IR-drop map.
     let analyzer = PatternAnalyzer::new(&study);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints and the full test suite.
+#
+#   scripts/check.sh            run everything
+#   scripts/check.sh --fast     skip the test suite (fmt + clippy only)
+#
+# The build is fully offline: every third-party dependency is vendored
+# under vendor/ (see Cargo.toml), so no registry access is needed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    *)
+        echo "usage: scripts/check.sh [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$fast" -eq 0 ]; then
+    echo "== cargo test =="
+    cargo test --offline --workspace -q
+fi
+
+echo "All checks passed."

@@ -84,8 +84,7 @@ fn fig2_fig6_noise_aware_reduces_scap_violations() {
     // fill-0) keeps B5 nearly quiet.
     let step3 = na.steps.last().unwrap().1;
     if step3 > 0 {
-        let prefix_mean: f64 =
-            f6.scap_mw[..step3].iter().sum::<f64>() / step3 as f64;
+        let prefix_mean: f64 = f6.scap_mw[..step3].iter().sum::<f64>() / step3 as f64;
         let conv_mean: f64 = f2.scap_mw.iter().sum::<f64>() / f2.scap_mw.len().max(1) as f64;
         assert!(
             prefix_mean < 0.5 * conv_mean,

@@ -1,0 +1,93 @@
+//! Parallel-vs-serial bit-identity of the SCAP hot loops.
+//!
+//! The execution layer (`scap-exec`) promises that every parallel path —
+//! per-pattern power profiling, round-parallel fault-sim grading and
+//! compaction, per-pattern dynamic IR-drop — returns results
+//! **bit-identical** to the serial loop, for any thread count. This
+//! binary holds exactly one test so it owns its process: the thread
+//! count is selected via the `SCAP_THREADS` environment variable, which
+//! is process-global state no concurrently-running test may touch.
+
+use rand::SeedableRng;
+use scap::dft::{FillPolicy, PatternSet, TestPattern};
+use scap::sim::FaultList;
+use scap::{compact_patterns, grade_patterns, CaseStudy, PatternAnalyzer};
+
+struct Snapshot {
+    /// (stw, period, chip vdd/vss energy) per pattern, as raw bits.
+    power: Vec<[u64; 4]>,
+    /// Per-pattern IR-drop node voltages, as raw bits.
+    irdrop: Vec<Vec<u64>>,
+    first_detection: Vec<Option<usize>>,
+    curve: Vec<(usize, usize)>,
+    kept: Vec<usize>,
+}
+
+/// Runs every parallelized hot loop on `study` + `set` and captures the
+/// results exactly (f64s as bit patterns).
+fn snapshot(study: &CaseStudy, faults: &FaultList, set: &PatternSet) -> Snapshot {
+    let analyzer = PatternAnalyzer::new(study);
+    let power = analyzer
+        .power_profile(set)
+        .iter()
+        .map(|p| {
+            [
+                p.stw_ps.to_bits(),
+                p.period_ps.to_bits(),
+                p.chip.energy_vdd_fj.to_bits(),
+                p.chip.energy_vss_fj.to_bits(),
+            ]
+        })
+        .collect();
+    let irdrop = analyzer
+        .ir_drop_profile(&set.filled)
+        .iter()
+        .map(|m| {
+            m.node_drop_vdd_v
+                .iter()
+                .chain(&m.node_drop_vss_v)
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    let n = &study.design.netlist;
+    let clka = study.clka();
+    let grade = grade_patterns(n, clka, faults, set);
+    let (kept, _) = compact_patterns(n, clka, faults, set);
+    Snapshot {
+        power,
+        irdrop,
+        first_detection: grade.first_detection,
+        curve: grade.curve,
+        kept,
+    }
+}
+
+#[test]
+fn hot_loops_are_bit_identical_across_thread_counts() {
+    let study = CaseStudy::small();
+    let n = &study.design.netlist;
+    let faults = FaultList::full(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut set = PatternSet::new();
+    for _ in 0..40 {
+        let p = TestPattern::unspecified(n);
+        let f = p.fill(n, FillPolicy::Random, &mut rng);
+        set.push(p, f);
+    }
+
+    std::env::set_var("SCAP_THREADS", "1");
+    let serial = snapshot(&study, &faults, &set);
+    std::env::set_var("SCAP_THREADS", "8");
+    let parallel = snapshot(&study, &faults, &set);
+    std::env::remove_var("SCAP_THREADS");
+
+    assert_eq!(serial.power, parallel.power, "power_profile diverged");
+    assert_eq!(serial.irdrop, parallel.irdrop, "ir_drop_profile diverged");
+    assert_eq!(
+        serial.first_detection, parallel.first_detection,
+        "grade_patterns first detections diverged"
+    );
+    assert_eq!(serial.curve, parallel.curve, "coverage curve diverged");
+    assert_eq!(serial.kept, parallel.kept, "compaction kept-set diverged");
+}

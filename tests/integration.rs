@@ -42,8 +42,7 @@ fn atpg_and_fault_simulation_agree() {
     let random_grade = grade_patterns(n, clka, &faults, &random_set);
     let mut contradictions = 0;
     for (i, status) in run.status.iter().enumerate() {
-        if matches!(status, FaultStatus::Untestable) && random_grade.first_detection[i].is_some()
-        {
+        if matches!(status, FaultStatus::Untestable) && random_grade.first_detection[i].is_some() {
             contradictions += 1;
         }
     }
@@ -185,11 +184,7 @@ fn batch_and_scalar_loc_frames_agree() {
         clka,
     );
     for i in 0..n.num_nets() {
-        assert_eq!(
-            bf.frame2[i] & 1 == 1,
-            sf.frame2[i] == Logic::One,
-            "net {i}"
-        );
+        assert_eq!(bf.frame2[i] & 1 == 1, sf.frame2[i] == Logic::One, "net {i}");
     }
 }
 
@@ -255,7 +250,8 @@ fn ir_drop_scales_linearly_with_activity() {
         net,
         rising: true,
     });
-    two.events.sort_by(|a, b| a.time_ps.partial_cmp(&b.time_ps).expect("finite"));
+    two.events
+        .sort_by(|a, b| a.time_ps.partial_cmp(&b.time_ps).expect("finite"));
     let m1 = dynir.analyze(&s.annotation, &one);
     let m2 = dynir.analyze(&s.annotation, &two);
     // Trace `two` has 2 rising and 1 falling toggles over the same window.

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use scap::dft::{FillPolicy, TestPattern};
 use scap::netlist::{
-    CellKind, ClockEdge, Levelization, Logic, NetId, NetlistBuilder, Netlist, ScanRole,
+    CellKind, ClockEdge, Levelization, Logic, NetId, Netlist, NetlistBuilder, ScanRole,
 };
 use scap::power::solve_cg;
 use scap::sim::{BatchSim, EventSim, LogicSim};

@@ -1,0 +1,186 @@
+//! Vendored, dependency-free reimplementation of the `proptest` API
+//! surface used by this workspace.
+//!
+//! The build environment has no crates-io access, so the real `proptest`
+//! cannot be fetched. This crate provides the subset the workspace's
+//! property tests exercise: the [`prelude::Strategy`] trait (ranges,
+//! tuples, `any`, `prop_map`), the [`proptest!`] test macro with
+//! `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: each test runs `cases` deterministic cases seeded from the test
+//! name, and the first failing case panics with its case index and the
+//! generated inputs' debug seed.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the `proptest!` tests need in scope.
+
+    pub use crate::strategy::{any, Any, Just, Map, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name, so every run
+/// (and every thread count) replays the identical case sequence.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fails the current proptest case with a message.
+///
+/// Expands to an early `Err` return, so it is only valid inside a
+/// [`proptest!`] body (which runs in a `Result`-returning closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with optional custom message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality, with optional custom message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..runner.config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), runner.rng());
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            runner.config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair(limit: usize) -> impl Strategy<Value = (usize, usize)> {
+        (0usize..limit, any::<u64>()).prop_map(|(a, seed)| (a, (seed % 7) as usize))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in 1.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1.0..2.0).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn mapped_tuples_work(pair in arb_pair(10), flag in any::<bool>()) {
+            let (a, b) = pair;
+            prop_assert!(a < 10);
+            prop_assert!(b < 7);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        assert_eq!(crate::seed_from_name("x"), crate::seed_from_name("x"));
+        assert_ne!(crate::seed_from_name("x"), crate::seed_from_name("y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        proptest! {
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,148 @@
+//! Value-generation strategies: ranges, tuples, `any`, `prop_map`.
+
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the runner's RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy producing the same value every time.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy drawing from a type's [`Standard`] distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Generates arbitrary values of `T` (full integer range, `[0, 1)`
+/// floats, fair bools).
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.sample(Standard)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + PartialOrd + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: rand::SampleUniform + PartialOrd + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy_impl {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy_impl! { A }
+tuple_strategy_impl! { A, B }
+tuple_strategy_impl! { A, B, C }
+tuple_strategy_impl! { A, B, C, D }
+tuple_strategy_impl! { A, B, C, D, E }
+tuple_strategy_impl! { A, B, C, D, E, F }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_are_deterministic_given_rng_state() {
+        let strat = (0usize..100, any::<u64>()).prop_map(|(a, b)| a as u64 + (b & 1));
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut r1), strat.new_value(&mut r2));
+        }
+    }
+
+    #[test]
+    fn just_returns_its_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Just(41).new_value(&mut rng), 41);
+    }
+}

@@ -1,0 +1,65 @@
+//! The per-test runner: configuration, RNG, and failure type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Test-run configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed case, produced by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives one property test: owns the config and the deterministic RNG
+/// the strategies draw from.
+pub struct TestRunner {
+    /// The active configuration.
+    pub config: Config,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with the given config and RNG seed.
+    pub fn new(config: Config, seed: u64) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The RNG strategies should draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,201 @@
+//! The `Standard` distribution and uniform range sampling, matching
+//! `rand 0.8.5`'s stream consumption exactly.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full-range integers, `[0, 1)`
+/// floats, fair bools.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8 compares the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24-bit precision multiply into [0, 1).
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit precision multiply into [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling (`Rng::gen_range`).
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range arguments accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        // Negated on purpose: an incomparable pair (NaN bound) is empty.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            T::sample_single_inclusive(start, end, rng)
+        }
+        // Negated on purpose: an incomparable pair (NaN bound) is empty.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+
+    /// Lemire-style widening-multiply rejection sampling, exactly as in
+    /// rand 0.8's `UniformInt` (`$u_large` = the type's own width for
+    /// 32/64-bit types).
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "sample_single: low >= high");
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "sample_single_inclusive: low > high");
+                    let range = (high as $unsigned)
+                        .wrapping_sub(low as $unsigned)
+                        .wrapping_add(1) as $u_large;
+                    if range == 0 {
+                        // The full type range: every word is a valid sample.
+                        return rng.gen::<$u_large>() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let wide = (v as $wide) * (range as $wide);
+                        let hi = (wide >> <$u_large>::BITS) as $u_large;
+                        let lo = wide as $u_large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl! { u32, u32, u32, u64 }
+    uniform_int_impl! { i32, u32, u32, u64 }
+    uniform_int_impl! { u64, u64, u64, u128 }
+    uniform_int_impl! { i64, u64, u64, u128 }
+    uniform_int_impl! { usize, usize, u64, u128 }
+    uniform_int_impl! { isize, usize, u64, u128 }
+
+    /// Float sampling via a `[1, 2)` mantissa fill, as in rand 0.8's
+    /// `UniformFloat::sample_single`.
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low < high, "sample_single: low >= high");
+                    let scale = high - low;
+                    let offset = low - scale;
+                    let fraction = rng.gen::<$uty>() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(fraction | $exponent_bits);
+                    value1_2 * scale + offset
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    Self::sample_single(low, high, rng)
+                }
+            }
+        };
+    }
+
+    uniform_float_impl! { f32, u32, 32 - 23, 127u32 << 23 }
+    uniform_float_impl! { f64, u64, 64 - 52, 1023u64 << 52 }
+}

@@ -1,0 +1,171 @@
+//! The generators: `StdRng`/`SmallRng` (ChaCha12) and the mock `StepRng`.
+
+use crate::{RngCore, SeedableRng};
+
+const CHACHA_BLOCK_WORDS: usize = 16;
+/// `rand_chacha` buffers 4 ChaCha blocks (64 `u32` words) per refill.
+const BUFFER_WORDS: usize = 4 * CHACHA_BLOCK_WORDS;
+
+/// ChaCha block function with a configurable double-round count.
+///
+/// State layout (RFC 8439 with a 64-bit counter, as in `rand_chacha`):
+/// constants ‖ key (8 words) ‖ counter (2 words, LE) ‖ stream (2 words).
+fn chacha_block(key: &[u32; 8], counter: u64, stream: [u32; 2], double_rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = stream[0];
+    state[15] = stream[1];
+    let mut w = state;
+    #[inline(always)]
+    fn quarter(w: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        w[a] = w[a].wrapping_add(w[b]);
+        w[d] = (w[d] ^ w[a]).rotate_left(16);
+        w[c] = w[c].wrapping_add(w[d]);
+        w[b] = (w[b] ^ w[c]).rotate_left(12);
+        w[a] = w[a].wrapping_add(w[b]);
+        w[d] = (w[d] ^ w[a]).rotate_left(8);
+        w[c] = w[c].wrapping_add(w[d]);
+        w[b] = (w[b] ^ w[c]).rotate_left(7);
+    }
+    for _ in 0..double_rounds {
+        quarter(&mut w, 0, 4, 8, 12);
+        quarter(&mut w, 1, 5, 9, 13);
+        quarter(&mut w, 2, 6, 10, 14);
+        quarter(&mut w, 3, 7, 11, 15);
+        quarter(&mut w, 0, 5, 10, 15);
+        quarter(&mut w, 1, 6, 11, 12);
+        quarter(&mut w, 2, 7, 8, 13);
+        quarter(&mut w, 3, 4, 9, 14);
+    }
+    for (wi, si) in w.iter_mut().zip(&state) {
+        *wi = wi.wrapping_add(*si);
+    }
+    w
+}
+
+/// ChaCha12-based generator with `rand_core::BlockRng` buffering, so the
+/// output word stream (and the `next_u32`/`next_u64` interleaving rules)
+/// match `rand 0.8`'s `StdRng` exactly.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    stream: [u32; 2],
+    counter: u64,
+    results: [u32; BUFFER_WORDS],
+    /// Next unread index into `results`; `BUFFER_WORDS` means empty.
+    index: usize,
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        for block in 0..4 {
+            let words = chacha_block(&self.key, self.counter + block as u64, self.stream, 6);
+            self.results[block * CHACHA_BLOCK_WORDS..(block + 1) * CHACHA_BLOCK_WORDS]
+                .copy_from_slice(&words);
+        }
+        self.counter += 4;
+    }
+
+    fn generate_and_set(&mut self, index: usize) {
+        self.refill();
+        self.index = index;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha12Rng {
+            key,
+            stream: [0, 0],
+            counter: 0,
+            results: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let read_u64 =
+            |results: &[u32], i: usize| u64::from(results[i + 1]) << 32 | u64::from(results[i]);
+        let index = self.index;
+        if index < BUFFER_WORDS - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= BUFFER_WORDS {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            // One word left: combine it with the first word of the next
+            // buffer (rand_core's BlockRng straddling rule).
+            let lo = u64::from(self.results[BUFFER_WORDS - 1]);
+            self.generate_and_set(1);
+            let hi = u64::from(self.results[0]);
+            (hi << 32) | lo
+        }
+    }
+}
+
+/// The standard generator: ChaCha12, as in `rand 0.8`.
+pub type StdRng = ChaCha12Rng;
+
+/// A small fast generator. The real crate uses xoshiro; here it shares the
+/// ChaCha12 core (no workspace code depends on `SmallRng` streams).
+pub type SmallRng = ChaCha12Rng;
+
+pub mod mock {
+    //! Mock generators for deterministic tests.
+
+    use crate::RngCore;
+
+    /// Returns `initial`, then adds `increment` per call (wrapping).
+    #[derive(Clone, Debug)]
+    pub struct StepRng {
+        v: u64,
+        a: u64,
+    }
+
+    impl StepRng {
+        /// Creates a generator starting at `initial` stepping by
+        /// `increment`.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                v: initial,
+                a: increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.v;
+            self.v = self.v.wrapping_add(self.a);
+            result
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Vendored stand-in for the `serde` derive markers used by this
+//! workspace.
+//!
+//! The build environment has no crates-io access, so the real `serde`
+//! cannot be fetched. The workspace only uses `#[derive(Serialize,
+//! Deserialize)]` as forward-looking markers — nothing actually
+//! serializes — so the traits here are empty markers with blanket impls
+//! and the derives (from the companion `serde_derive` stub) expand to
+//! nothing. Swapping the real serde back in requires no source changes.
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_everything() {
+        fn assert_serialize<T: crate::Serialize>() {}
+        fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>() {}
+        assert_serialize::<Vec<u8>>();
+        assert_deserialize::<String>();
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to emit; they exist only so that
+//! `#[derive(Serialize, Deserialize)]` (and any `#[serde(...)]` helper
+//! attributes) parse exactly as with the real crates.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
