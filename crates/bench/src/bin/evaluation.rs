@@ -10,15 +10,29 @@
 //!
 //! Besides the human-readable report, the run writes
 //! `BENCH_evaluation.json` (override the path with `SCAP_BENCH_JSON`):
-//! per-stage wall-clock in milliseconds, the worker-thread count and the
-//! design scale, so serial-vs-parallel comparisons are machine-checkable.
+//! per-stage wall-clock in milliseconds **and the counters that advanced
+//! during the stage** (CG iterations, warm-start hits, fault-sim
+//! detections, patterns screened, …), the requested and *effective*
+//! worker-thread counts and the design scale, so serial-vs-parallel
+//! comparisons are machine-checkable and hot stages are attributable to
+//! actual work rather than guessed at.
 
 use scap::{ablation, experiments, flows, CaseStudy, PatternAnalyzer};
 use std::time::Instant;
 
-/// Per-stage wall-clock collector feeding `BENCH_evaluation.json`.
+/// One timed pipeline stage: wall-clock plus the counter activity it
+/// caused (deltas of the process-wide `scap-obs` registry across the
+/// stage; zero deltas omitted).
+struct Stage {
+    name: &'static str,
+    ms: f64,
+    metrics: Vec<(&'static str, u64)>,
+}
+
+/// Per-stage wall-clock + metrics collector feeding
+/// `BENCH_evaluation.json`.
 struct StageClock {
-    stages: Vec<(&'static str, f64)>,
+    stages: Vec<Stage>,
 }
 
 impl StageClock {
@@ -26,32 +40,94 @@ impl StageClock {
         StageClock { stages: Vec::new() }
     }
 
-    /// Runs `f`, recording its wall-clock under `name`.
+    /// Runs `f`, recording its wall-clock and counter deltas under `name`.
     fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let before = scap_obs::snapshot();
         let t = Instant::now();
         let out = f();
-        self.stages.push((name, t.elapsed().as_secs_f64() * 1e3));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let metrics = scap_obs::snapshot().counter_deltas(&before);
+        self.stages.push(Stage { name, ms, metrics });
         out
     }
 
-    /// Renders the collected stages as a JSON document. Hand-rolled:
-    /// the workspace carries no JSON dependency, and the document is
-    /// flat (no strings needing escapes).
-    fn to_json(&self, scale: f64, threads: usize, total_ms: f64) -> String {
+    /// Renders the collected stages as a JSON document. Hand-rolled: the
+    /// workspace carries no JSON dependency, and every string that lands
+    /// here is a static identifier needing no escapes. All floats go
+    /// through [`json_num`] so a NaN/∞ can never corrupt the document.
+    ///
+    /// Per-stage `"metrics"` hold the *nonzero* counter deltas; the
+    /// `"totals"` object lists every registered metric with its final
+    /// cumulative value (zeros included), so the full instrumentation
+    /// surface — e.g. `cg.warm_hits` even on an all-cold-start run — is
+    /// visible in the document.
+    fn to_json(
+        &self,
+        scale: f64,
+        threads: usize,
+        effective_threads: u64,
+        total_ms: f64,
+        totals: &scap_obs::Snapshot,
+    ) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str(&format!("  \"scale\": {scale},\n"));
+        s.push_str(&format!("  \"scale\": {},\n", json_num(scale)));
         s.push_str(&format!("  \"threads\": {threads},\n"));
-        s.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
+        s.push_str(&format!("  \"effective_threads\": {effective_threads},\n"));
+        s.push_str(&format!("  \"total_ms\": {},\n", json_num_ms(total_ms)));
         s.push_str("  \"stages\": [\n");
-        for (i, (name, ms)) in self.stages.iter().enumerate() {
+        for (i, stage) in self.stages.iter().enumerate() {
             let sep = if i + 1 == self.stages.len() { "" } else { "," };
             s.push_str(&format!(
-                "    {{ \"name\": \"{name}\", \"ms\": {ms:.3} }}{sep}\n"
+                "    {{ \"name\": \"{}\", \"ms\": {}, \"metrics\": {{",
+                stage.name,
+                json_num_ms(stage.ms)
             ));
+            for (j, (metric, delta)) in stage.metrics.iter().enumerate() {
+                let msep = if j + 1 == stage.metrics.len() {
+                    ""
+                } else {
+                    ","
+                };
+                s.push_str(&format!(" \"{metric}\": {delta}{msep}"));
+            }
+            s.push_str(&format!(" }} }}{sep}\n"));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        s.push_str("  \"totals\": {\n");
+        let ints = totals
+            .counters
+            .iter()
+            .chain(&totals.gauges)
+            .map(|&(n, v)| format!("    \"{n}\": {v}"));
+        let floats = totals
+            .float_gauges
+            .iter()
+            .map(|&(n, v)| format!("    \"{n}\": {}", json_num(v)));
+        let entries: Vec<String> = ints.chain(floats).collect();
+        s.push_str(&entries.join(",\n"));
+        s.push_str("\n  }\n}\n");
         s
+    }
+}
+
+/// Formats a float as a strict-JSON number; non-finite values (which JSON
+/// cannot represent) become `null` instead of the `NaN`/`inf` tokens
+/// Rust's `Display` would emit.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// [`json_num`] at millisecond precision.
+fn json_num_ms(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
     }
 }
 
@@ -61,6 +137,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.02);
     let threads = scap_exec::Executor::new().threads();
+    scap_obs::set_enabled(true);
     let mut clock = StageClock::new();
     let t0 = Instant::now();
     println!("== scap-atpg evaluation @ scale {scale}, {threads} thread(s) ==\n");
@@ -155,7 +232,12 @@ fn main() {
 
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!("\ntotal wall time: {:.0} s", total_ms / 1e3);
-    let json = clock.to_json(scale, threads, total_ms);
+    let final_snapshot = scap_obs::snapshot();
+    // The high-water mark the executor actually reached — distinct from
+    // the requested width when every map had fewer items than workers.
+    let effective_threads = final_snapshot.gauge("exec.effective_threads").unwrap_or(0);
+    println!("{}", scap_obs::render(&final_snapshot));
+    let json = clock.to_json(scale, threads, effective_threads, total_ms, &final_snapshot);
     let path = std::env::var("SCAP_BENCH_JSON").unwrap_or_else(|_| "BENCH_evaluation.json".into());
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {path}"),

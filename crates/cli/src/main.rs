@@ -97,13 +97,14 @@ fn usage() -> ExitCode {
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
          \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact\
-         \n  profile    per-pattern B5 SCAP of a flow vs the screening threshold\
+         \n  profile    per-pattern B5 SCAP of a flow vs the screening threshold;\
+         \n             --metrics prints the pipeline counter breakdown\
          \n  schedule   power-constrained session scheduling: --budget MILLIWATTS\
          \n  paths      report the N worst timing paths: --count N\
          \n  evaluate   every table and figure of the paper (long)\
          \n\
-         \n  --threads N  worker threads for the parallel hot loops\
-         \n               (default: SCAP_THREADS env, then available cores)"
+         \n  --threads N  worker threads for the parallel hot loops; always wins\
+         \n               (precedence: --threads, then SCAP_THREADS env, then cores)"
     );
     ExitCode::from(2)
 }
@@ -196,6 +197,11 @@ fn atpg(args: &Args) -> ExitCode {
 }
 
 fn profile(args: &Args) -> ExitCode {
+    // Collection is enabled *before* the run so the breakdown covers
+    // design build, ATPG, grading and SCAP measurement alike.
+    if args.has("metrics") {
+        scap_obs::set_enabled(true);
+    }
     let study = CaseStudy::new(args.scale());
     let flow = pick_flow(args, &study);
     let b5 = study.design.block_named("B5").expect("B5 exists");
@@ -208,6 +214,9 @@ fn profile(args: &Args) -> ExitCode {
     let sweep = ablation::threshold_sensitivity(&study, &flow, &[0.5, 1.0, 2.0]);
     for (f, above) in sweep {
         println!("threshold x{f}: {above} patterns above");
+    }
+    if args.has("metrics") {
+        println!("\n{}", scap_obs::render(&scap_obs::snapshot()));
     }
     ExitCode::SUCCESS
 }

@@ -57,6 +57,7 @@ pub fn staged_fill_matrix(study: &CaseStudy) -> Vec<AblationRow> {
             } else {
                 flows::conventional_with(study, config)
             };
+            scap_obs::counter!("ablation.flows_run").incr();
             rows.push(measure(study, &format!("{stage_label}/{fill}"), &flow));
         }
     }
@@ -74,6 +75,7 @@ pub fn threshold_sensitivity(
     let b5 = study.design.block_named("B5").expect("B5 exists");
     let base = experiments::scap_thresholds(study)[b5.index()];
     let series = experiments::scap_series(study, flow, b5, base);
+    scap_obs::counter!("ablation.threshold_factors").add(factors.len() as u64);
     factors
         .iter()
         .map(|&f| {

@@ -244,12 +244,14 @@ pub fn scap_series(
     let analyzer = PatternAnalyzer::new(study);
     let profile = analyzer.power_profile(&flow.patterns);
     let scap_mw: Vec<f64> = profile.iter().map(|p| p.scap_vdd_mw(block)).collect();
-    let above = scap_mw
+    let above: Vec<usize> = scap_mw
         .iter()
         .enumerate()
         .filter(|(_, &s)| s > threshold_mw)
         .map(|(i, _)| i)
         .collect();
+    scap_obs::counter!("screen.patterns_measured").add(scap_mw.len() as u64);
+    scap_obs::counter!("screen.patterns_above").add(above.len() as u64);
     ScapSeries {
         block,
         scap_mw,

@@ -57,6 +57,8 @@ pub fn conventional_with(study: &CaseStudy, config: AtpgConfig) -> FlowResult {
     let faults = FaultList::full(n);
     let generator = Generator::new(n, clka, config);
     let run = generator.run(&faults);
+    scap_obs::counter!("flow.stages").incr();
+    scap_obs::counter!("flow.patterns_generated").add(run.patterns.len() as u64);
     let grade = grade_patterns(n, clka, &faults, &run.patterns);
     FlowResult {
         steps: vec![("all blocks".to_owned(), 0)],
@@ -130,6 +132,8 @@ pub fn noise_aware_with(
             })
             .collect();
         let run = generator.run_with_status(&sub, initial);
+        scap_obs::counter!("flow.stages").incr();
+        scap_obs::counter!("flow.patterns_generated").add(run.patterns.len() as u64);
         // Grade the new patterns against the whole universe to credit
         // fortuitous detections in *other* blocks too.
         let grade = grade_patterns(n, clka, &full, &run.patterns);

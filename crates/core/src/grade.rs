@@ -68,6 +68,8 @@ pub fn grade_patterns(
         if remaining.is_empty() {
             break;
         }
+        scap_obs::counter!("grade.rounds").incr();
+        scap_obs::counter!("grade.fault_sim_targets").add(remaining.len() as u64);
         let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
         let summaries = exec.parallel_map_with(
             || PropagationScratch::new(netlist.num_nets()),
@@ -97,6 +99,7 @@ pub fn grade_patterns(
             if let Some(p) = best {
                 first_detection[fi] = Some(p);
                 detections_at[p + 1] += 1;
+                scap_obs::counter!("grade.faults_dropped").incr();
             }
         }
     }
@@ -150,6 +153,7 @@ pub fn compact_patterns(
         if remaining.is_empty() {
             break;
         }
+        scap_obs::counter!("compact.rounds").incr();
         let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
         let summaries = exec.parallel_map_with(
             || PropagationScratch::new(netlist.num_nets()),
@@ -188,6 +192,8 @@ pub fn compact_patterns(
         .filter(|(_, &k)| k)
         .map(|(i, _)| i)
         .collect();
+    scap_obs::counter!("compact.patterns_kept").add(kept.len() as u64);
+    scap_obs::counter!("compact.patterns_dropped").add((patterns.len() - kept.len()) as u64);
     let mut compacted = PatternSet {
         fill: patterns.fill,
         ..PatternSet::new()

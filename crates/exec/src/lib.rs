@@ -33,18 +33,41 @@
 //!    (the CLI's `--threads N`),
 //! 2. the `SCAP_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! [`set_default_threads`] is **last-write-wins**: the CLI parses
+//! `--threads` at the top of `main`, after any library or test-harness
+//! initialization, so the user's flag always takes effect even when a
+//! library installed a default first. (It used to be first-write-wins,
+//! which silently turned the CLI flag into a no-op whenever a library
+//! call got in before argument parsing.)
+//!
+//! # Metrics
+//!
+//! When `scap-obs` collection is enabled, the executor records
+//! `exec.parallel_maps`, `exec.items` and `exec.chunk_claims` counters
+//! plus `exec.effective_threads` and `exec.worker_items_max` gauges
+//! (high-water marks), so load imbalance and the *actual* worker count —
+//! not the requested one — are visible in profiles.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
-/// Process-wide default worker count, installed once by the CLI.
-static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+/// Process-wide default worker count; 0 means "not installed".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Installs the process-wide default worker count used by
-/// [`Executor::new`]. Later calls are ignored (first write wins); returns
-/// whether this call installed the value. `n` is clamped to at least 1.
-pub fn set_default_threads(n: usize) -> bool {
-    DEFAULT_THREADS.set(n.max(1)).is_ok()
+/// [`Executor::new`]. **Last write wins** — the CLI's `--threads`,
+/// parsed at the top of `main`, overrides anything a library installed
+/// earlier. Returns the previously installed value, or `None` if this is
+/// the first install. `n` is clamped to at least 1.
+pub fn set_default_threads(n: usize) -> Option<usize> {
+    let prev = DEFAULT_THREADS.swap(n.max(1), Ordering::SeqCst);
+    (prev != 0).then_some(prev)
+}
+
+/// The currently installed process-wide default, if any.
+pub fn default_threads() -> Option<usize> {
+    let n = DEFAULT_THREADS.load(Ordering::SeqCst);
+    (n != 0).then_some(n)
 }
 
 /// Reads `SCAP_THREADS`, ignoring unset, empty, or unparsable values.
@@ -71,9 +94,7 @@ impl Executor {
     /// An executor with the configured default width (see the crate docs
     /// for the selection order).
     pub fn new() -> Self {
-        let threads = DEFAULT_THREADS
-            .get()
-            .copied()
+        let threads = default_threads()
             .or_else(threads_from_env)
             .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
             .unwrap_or(1);
@@ -118,7 +139,11 @@ impl Executor {
     {
         let n = items.len();
         let workers = self.threads.min(n.max(1));
+        scap_obs::counter!("exec.parallel_maps").incr();
+        scap_obs::counter!("exec.items").add(n as u64);
+        scap_obs::gauge!("exec.effective_threads").set_max(workers as u64);
         if workers <= 1 {
+            scap_obs::gauge!("exec.worker_items_max").set_max(n as u64);
             let mut state = init();
             return items.iter().map(|item| f(&mut state, item)).collect();
         }
@@ -130,18 +155,23 @@ impl Executor {
         let chunk = (n / (workers * 8)).max(1);
         let cursor = AtomicUsize::new(0);
         let out = SharedSlots(results.as_mut_ptr());
+        let metrics_on = scap_obs::is_enabled();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let out = &out;
                     let mut state = init();
+                    let mut claims = 0u64;
+                    let mut handled = 0u64;
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         let end = (start + chunk).min(n);
+                        claims += 1;
+                        handled += (end - start) as u64;
                         for (i, item) in items[start..end].iter().enumerate() {
                             let value = f(&mut state, item);
                             // SAFETY: index `start + i` is claimed by
@@ -149,6 +179,10 @@ impl Executor {
                             // and `results` outlives the scope.
                             unsafe { out.0.add(start + i).write(Some(value)) };
                         }
+                    }
+                    if metrics_on {
+                        scap_obs::counter!("exec.chunk_claims").add(claims);
+                        scap_obs::gauge!("exec.worker_items_max").set_max(handled);
                     }
                 });
             }

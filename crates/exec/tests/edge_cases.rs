@@ -1,0 +1,57 @@
+//! Edge-case coverage for `parallel_map_with`: empty input, fewer items
+//! than workers, and chunk-size rounding when `n < workers * 8` (the
+//! regime where the per-worker chunk computes to 0 and must clamp to 1).
+
+use scap_exec::Executor;
+
+#[test]
+fn empty_slice_yields_empty_output_at_any_width() {
+    for threads in [1, 2, 7, 32] {
+        let out =
+            Executor::with_threads(threads).parallel_map_with(|| 0u64, &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn fewer_items_than_workers() {
+    // workers is clamped to the item count, so every item still lands in
+    // its own slot and no worker spins on an empty range.
+    let items = [10u64, 20, 30];
+    for threads in [4, 8, 64] {
+        let out = Executor::with_threads(threads).parallel_map_with(
+            || 1u64,
+            &items,
+            |bias, &x| x + *bias,
+        );
+        assert_eq!(out, vec![11, 21, 31], "threads = {threads}");
+    }
+}
+
+#[test]
+fn chunk_rounds_up_to_one_when_items_are_scarce() {
+    // With n < workers * 8 the raw chunk n / (workers * 8) is zero; the
+    // executor must clamp it to 1 rather than looping forever or skipping
+    // items. Cover the boundary densely.
+    for n in 1usize..40 {
+        for threads in [2, 3, 5, 8] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = Executor::with_threads(threads).parallel_map_with(
+                Vec::<usize>::new,
+                &items,
+                |scratch, &x| {
+                    scratch.push(x);
+                    x * x
+                },
+            );
+            let serial: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, serial, "n = {n}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn single_item_runs_serially() {
+    let out = Executor::with_threads(16).parallel_map_with(|| (), &[41u8], |(), &x| x + 1);
+    assert_eq!(out, vec![42]);
+}

@@ -1,0 +1,37 @@
+//! Thread-count precedence. One test, alone in its own integration
+//! binary: `set_default_threads` is process-global state, so this file
+//! must own its process to observe installation order deterministically.
+
+use scap_exec::{default_threads, set_default_threads, Executor};
+
+#[test]
+fn later_install_overrides_earlier_one() {
+    // A library (or test harness) installs a default first...
+    let first = set_default_threads(2);
+    assert_eq!(first, None, "no default installed yet");
+    assert_eq!(default_threads(), Some(2));
+    assert_eq!(Executor::new().threads(), 2);
+
+    // ...then the CLI parses `--threads 5`. Last write wins — this was
+    // the bug: the old OnceLock-based install silently kept 2 and made
+    // the user's flag a no-op.
+    let prev = set_default_threads(5);
+    assert_eq!(prev, Some(2), "previous install is reported");
+    assert_eq!(default_threads(), Some(5));
+    assert_eq!(
+        Executor::new().threads(),
+        5,
+        "the CLI's later install must win"
+    );
+
+    // The installed default also beats the SCAP_THREADS environment
+    // variable (set it to prove the override ordering, not to rely on
+    // ambient state).
+    std::env::set_var("SCAP_THREADS", "3");
+    assert_eq!(Executor::new().threads(), 5);
+
+    // Zero is clamped to one worker, never zero.
+    set_default_threads(0);
+    assert_eq!(default_threads(), Some(1));
+    assert_eq!(Executor::new().threads(), 1);
+}

@@ -33,20 +33,27 @@ pub struct BlockPower {
 
 impl BlockPower {
     /// Average power over a window of `window_ps`, mW, for the VDD network.
+    ///
+    /// A pattern with no transitions has an empty (zero-width) switching
+    /// time window; its SCAP is defined as 0, never NaN/∞. The guard must
+    /// be `is_finite() && > 0.0` — a bare `<= 0.0` lets NaN through
+    /// (`NaN <= 0.0` is false) and a NaN window would poison every
+    /// downstream aggregate.
     pub fn power_vdd_mw(&self, window_ps: f64) -> f64 {
-        if window_ps <= 0.0 {
-            0.0
-        } else {
+        if window_ps.is_finite() && window_ps > 0.0 {
             self.energy_vdd_fj / window_ps
+        } else {
+            0.0
         }
     }
 
     /// Average power over a window of `window_ps`, mW, for the VSS network.
+    /// Same empty-window convention as [`BlockPower::power_vdd_mw`].
     pub fn power_vss_mw(&self, window_ps: f64) -> f64 {
-        if window_ps <= 0.0 {
-            0.0
-        } else {
+        if window_ps.is_finite() && window_ps > 0.0 {
             self.energy_vss_fj / window_ps
+        } else {
+            0.0
         }
     }
 }
@@ -244,6 +251,53 @@ mod tests {
         assert_eq!(p.chip.toggles, 0);
         assert_eq!(p.chip_scap_vdd_mw(), 0.0);
         assert_eq!(p.chip_cap_vdd_mw(), 0.0);
+    }
+
+    /// Regression: a pattern that launches no transitions through the
+    /// simulator (identical frames, no flop updates) has STW = 0; SCAP is
+    /// defined as 0 for that empty window — not NaN from 0/0 and not ∞
+    /// from energy/0.
+    #[test]
+    fn quiescent_pattern_yields_zero_scap_not_nan() {
+        let n = chain();
+        let ann = DelayAnnotation::unit_wire(&n);
+        let sim = EventSim::new(&n, &ann);
+        // A stable frame with no flop launch events: nothing toggles.
+        let mut frame = vec![false; n.num_nets()];
+        frame[1] = true; // w = !q0 is the settled value
+        let t = sim.run(&frame, &[]);
+        assert!(t.events.is_empty(), "launch-free run must not toggle");
+        assert_eq!(t.stw_ps(), 0.0);
+        let calc = ScapCalculator::new(&n, &ann, 20_000.0);
+        let p = calc.measure(&t);
+        for b in p.blocks.iter().chain([&p.chip]) {
+            for v in [
+                b.power_vdd_mw(p.stw_ps),
+                b.power_vss_mw(p.stw_ps),
+                b.power_vdd_mw(p.period_ps),
+            ] {
+                assert!(v.is_finite(), "non-finite power {v}");
+            }
+        }
+        assert_eq!(p.chip_scap_vdd_mw(), 0.0);
+        assert_eq!(p.chip_scap_vdd_mw(), p.chip_scap_vdd_mw()); // not NaN
+    }
+
+    /// A non-finite window (NaN/∞ from an upstream bug) must degrade to
+    /// zero power rather than poisoning aggregates: `NaN <= 0.0` is false,
+    /// so the old guard let NaN windows produce NaN power.
+    #[test]
+    fn non_finite_window_yields_zero_power() {
+        let b = BlockPower {
+            energy_vdd_fj: 12.0,
+            energy_vss_fj: 7.0,
+            toggles: 4,
+        };
+        for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -5.0] {
+            assert_eq!(b.power_vdd_mw(w), 0.0, "window {w}");
+            assert_eq!(b.power_vss_mw(w), 0.0, "window {w}");
+        }
+        assert!(b.power_vdd_mw(2.0) > 0.0);
     }
 
     #[test]

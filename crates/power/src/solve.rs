@@ -122,6 +122,14 @@ pub(crate) fn solve_spd_into(
             p[i] = z[i] + beta * p[i];
         }
     }
+    scap_obs::counter!("cg.solves").incr();
+    scap_obs::counter!("cg.iterations").add(iterations as u64);
+    if scap_obs::is_enabled() {
+        // `r` holds the true residual at exit (recurrence or recompute).
+        let res = dot(r, r).sqrt();
+        scap_obs::float_gauge!("cg.residual.last").set(res);
+        scap_obs::float_gauge!("cg.residual.max").set_max(res);
+    }
     iterations
 }
 
@@ -225,9 +233,17 @@ impl ReducedSystem {
     ) -> usize {
         assert_eq!(injection.len(), self.num_nodes);
         let nf = self.num_free();
+        // Resolve both counters up front so each registers on the first
+        // solve — an all-cold-start run still reports `cg.warm_hits: 0`
+        // in snapshots instead of omitting the counter entirely.
+        let warm_hits = scap_obs::counter!("cg.warm_hits");
+        let warm_misses = scap_obs::counter!("cg.warm_misses");
         if !warm || x.len() != nf {
+            warm_misses.incr();
             x.clear();
             x.resize(nf, 0.0);
+        } else {
+            warm_hits.incr();
         }
         let b = &mut scratch.b;
         b.clear();

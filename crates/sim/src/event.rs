@@ -261,6 +261,8 @@ impl<'a> EventSim<'a> {
                 seq += 1;
             }
         }
+        scap_obs::counter!("sim.event_runs").incr();
+        scap_obs::counter!("sim.toggle_events").add(events.len() as u64);
         // The heap pops in time order but pushes during processing keep it
         // correct; events are therefore already time-sorted.
         ToggleTrace {

@@ -143,10 +143,15 @@ impl<'a> TransitionFaultSim<'a> {
         let mut summary = DetectionSummary {
             detect_mask: Vec::with_capacity(faults.len()),
         };
+        let mut detections = 0u64;
         for fault in faults {
             let mask = self.detect_one(&frames, valid_mask, *fault, scratch);
+            detections += u64::from(mask != 0);
             summary.detect_mask.push(mask);
         }
+        scap_obs::counter!("sim.fault_sim_batches").incr();
+        scap_obs::counter!("sim.fault_sim_checks").add(faults.len() as u64);
+        scap_obs::counter!("sim.fault_detections").add(detections);
         summary
     }
 

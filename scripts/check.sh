@@ -30,6 +30,17 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 if [ "$fast" -eq 0 ]; then
     echo "== cargo test =="
     cargo test --offline --workspace -q
+
+    echo "== determinism at an odd thread count (SCAP_THREADS=3) =="
+    SCAP_THREADS=3 cargo test --offline -q -p scap --test determinism
+
+    echo "== BENCH_evaluation.json is strict JSON =="
+    if [ -f BENCH_evaluation.json ]; then
+        python3 -m json.tool BENCH_evaluation.json >/dev/null
+        echo "BENCH_evaluation.json parses."
+    else
+        echo "BENCH_evaluation.json not present; skipping."
+    fi
 fi
 
 echo "All checks passed."

@@ -78,16 +78,32 @@ fn hot_loops_are_bit_identical_across_thread_counts() {
 
     std::env::set_var("SCAP_THREADS", "1");
     let serial = snapshot(&study, &faults, &set);
-    std::env::set_var("SCAP_THREADS", "8");
-    let parallel = snapshot(&study, &faults, &set);
+    // An even width that divides batches cleanly AND an odd width whose
+    // chunk rounding exercises the ragged tail (3 never divides the
+    // 64-pattern batches or the power-of-two worker heuristics).
+    for threads in ["8", "3"] {
+        std::env::set_var("SCAP_THREADS", threads);
+        let parallel = snapshot(&study, &faults, &set);
+        assert_eq!(
+            serial.power, parallel.power,
+            "power_profile diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.irdrop, parallel.irdrop,
+            "ir_drop_profile diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.first_detection, parallel.first_detection,
+            "grade_patterns first detections diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.curve, parallel.curve,
+            "coverage curve diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.kept, parallel.kept,
+            "compaction kept-set diverged at {threads} threads"
+        );
+    }
     std::env::remove_var("SCAP_THREADS");
-
-    assert_eq!(serial.power, parallel.power, "power_profile diverged");
-    assert_eq!(serial.irdrop, parallel.irdrop, "ir_drop_profile diverged");
-    assert_eq!(
-        serial.first_detection, parallel.first_detection,
-        "grade_patterns first detections diverged"
-    );
-    assert_eq!(serial.curve, parallel.curve, "coverage curve diverged");
-    assert_eq!(serial.kept, parallel.kept, "compaction kept-set diverged");
 }
