@@ -7,6 +7,7 @@
 //!               [--fill fill-0] [--stil out.stil] [--compact]
 //! scap profile  --scale 0.01 [--flow conventional]      per-pattern SCAP
 //! scap schedule --scale 0.01 --budget <mW>              session scheduling
+//! scap lint     --scale 0.01 [--format json] [--deny warn]   design-rule check
 //! ```
 //!
 //! Everything is regenerated deterministically from `--scale` (and the
@@ -93,7 +94,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scap <generate|atpg|profile|schedule|paths|evaluate> [--scale S] [--threads N] [options]\n\
+        "usage: scap <generate|atpg|profile|schedule|paths|lint|evaluate> [--scale S] [--threads N] [options]\n\
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
          \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact\
@@ -101,6 +102,10 @@ fn usage() -> ExitCode {
          \n             --metrics prints the pipeline counter breakdown\
          \n  schedule   power-constrained session scheduling: --budget MILLIWATTS\
          \n  paths      report the N worst timing paths: --count N\
+         \n  lint       cross-layer design-rule check of the generated design, the\
+         \n             noise-aware flow's patterns and the supply meshes;\
+         \n             --format text|json, --deny warn to fail on warnings\
+         \n             exit 0 clean, 1 findings at or above the deny level, 2 usage\
          \n  evaluate   every table and figure of the paper (long)\
          \n\
          \n  --threads N  worker threads for the parallel hot loops; always wins\
@@ -121,6 +126,7 @@ fn main() -> ExitCode {
         "profile" => profile(&args),
         "schedule" => schedule_cmd(&args),
         "paths" => paths(&args),
+        "lint" => lint(&args),
         "evaluate" => evaluate(&args),
         _ => usage(),
     }
@@ -204,8 +210,14 @@ fn profile(args: &Args) -> ExitCode {
     }
     let study = CaseStudy::new(args.scale());
     let flow = pick_flow(args, &study);
-    let b5 = study.design.block_named("B5").expect("B5 exists");
-    let threshold = experiments::scap_thresholds(&study)[b5.index()];
+    let Some(b5) = study.design.block_named("B5") else {
+        eprintln!("error: the generated design has no block named 'B5' to profile");
+        return ExitCode::FAILURE;
+    };
+    let Some(&threshold) = experiments::scap_thresholds(&study).get(b5.index()) else {
+        eprintln!("error: no screening threshold for block 'B5'");
+        return ExitCode::FAILURE;
+    };
     let series = experiments::scap_series(&study, &flow, b5, threshold);
     println!(
         "{}",
@@ -251,6 +263,96 @@ fn schedule_cmd(args: &Args) -> ExitCode {
         100.0 * plan.total_length() as f64 / serial.max(1) as f64
     );
     ExitCode::SUCCESS
+}
+
+/// `scap lint` — runs the full design-rule registry against the generated
+/// design, the noise-aware flow's patterns and both supply meshes.
+///
+/// Exit codes: 0 clean, 1 findings at or above the deny level (errors, or
+/// warnings too under `--deny warn`), 2 usage error.
+fn lint(args: &Args) -> ExitCode {
+    use scap::PatternAnalyzer;
+    use scap_lint::{LintContext, MeshKind, MeshSpec, QuietSpec, ScreenSpec};
+
+    let json = match args.get("format") {
+        None => false,
+        Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("error: --format expects 'text' or 'json', got '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let deny_warn = if args.has("deny") {
+        match args.get("deny") {
+            Some("warn") => true,
+            other => {
+                eprintln!(
+                    "error: --deny expects 'warn', got '{}'",
+                    other.unwrap_or("nothing")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        false
+    };
+
+    let study = CaseStudy::new(args.scale());
+    let flow = flows::noise_aware(&study);
+
+    // Screen declaration: the flow's output is SCAP-screened, so measure
+    // every pattern and declare the within-threshold ones as emitted; the
+    // PAT003 rule then re-checks the declaration against the measurements.
+    let thresholds = experiments::scap_thresholds(&study);
+    let profile = PatternAnalyzer::new(&study).power_profile(&flow.patterns);
+    let num_blocks = study.design.netlist.blocks().len();
+    let pattern_block_mw: Vec<Vec<f64>> = profile
+        .iter()
+        .map(|p| {
+            (0..num_blocks)
+                .map(|b| p.scap_vdd_mw(scap::netlist::BlockId::new(b as u32)))
+                .collect()
+        })
+        .collect();
+    let emitted: Vec<usize> = pattern_block_mw
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| {
+            row.iter()
+                .zip(&thresholds)
+                .all(|(&mw, &t)| mw <= t * (1.0 + 1e-9))
+        })
+        .map(|(p, _)| p)
+        .collect();
+
+    let grid = scap::power::PowerGrid::new(study.design.floorplan.die, study.grid);
+    let ctx = LintContext::new(&study.design.netlist)
+        .with_timing(&study.annotation, &study.clock_tree)
+        .with_mesh(MeshSpec::from_grid(MeshKind::Vdd, &grid))
+        .with_mesh(MeshSpec::from_grid(MeshKind::Vss, &grid))
+        .with_patterns(&flow.patterns)
+        .with_quiet(QuietSpec::from_staged_flow(
+            &flows::paper_stages(&study),
+            &flow.steps,
+            flow.patterns.len(),
+        ))
+        .with_screen(ScreenSpec {
+            thresholds_mw: thresholds,
+            pattern_block_mw,
+            emitted,
+        });
+    let report = scap_lint::run_all(&ctx);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 || (deny_warn && report.warnings() > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn evaluate(args: &Args) -> ExitCode {

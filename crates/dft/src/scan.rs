@@ -50,26 +50,41 @@ impl ChainReport {
 
 /// Performs full-scan insertion: every flop gets a [`ScanRole`].
 ///
-/// Rising-edge flops are distributed over the available chains balanced by
-/// count; when a floorplan is provided, flops are first sorted in a
-/// row-major snake order so that consecutive chain positions are physically
-/// adjacent (the paper's "scan cell ordering to minimize scan chain
-/// wirelength"). Falling-edge flops — 22 in the paper's design — go to a
-/// dedicated final chain so the shift clocking stays clean.
+/// Chains are **per clock domain and per edge**: every chain holds flops of
+/// exactly one `(clock, edge)` group, so a single shift clock waveform
+/// drives each chain (the structural precondition the `SCAN003` lint rule
+/// checks). Rising-edge groups share the data chains, allocated
+/// proportionally to group size (every group gets at least one chain);
+/// falling-edge groups — 22 flops in the paper's design — each get one
+/// dedicated chain at the end so the shift clocking stays clean. When a
+/// floorplan is provided, flops are first sorted in a row-major snake order
+/// so consecutive chain positions are physically adjacent (the paper's
+/// "scan cell ordering to minimize scan chain wirelength").
+///
+/// `config.num_chains` is a target: if the design has more `(clock, edge)`
+/// groups than chains, extra chains are appended so no group is split
+/// across clock domains.
 pub fn insert_scan(
     netlist: &mut Netlist,
     config: &ScanConfig,
     floorplan: Option<&Floorplan>,
 ) -> ChainReport {
-    let mut rising: Vec<FlopId> = Vec::new();
-    let mut falling: Vec<FlopId> = Vec::new();
+    // Group flops by (clock, edge), rising groups first (by clock id),
+    // then falling groups (by clock id) so negative-edge chains sit last.
+    let mut groups: Vec<((u8, u32), Vec<FlopId>)> = Vec::new();
     for (i, f) in netlist.flops().iter().enumerate() {
+        let edge_rank = match f.edge {
+            ClockEdge::Rising => 0u8,
+            ClockEdge::Falling => 1u8,
+        };
+        let key = (edge_rank, f.clock.raw());
         let id = FlopId::new(i as u32);
-        match f.edge {
-            ClockEdge::Rising => rising.push(id),
-            ClockEdge::Falling => falling.push(id),
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(id),
+            None => groups.push((key, vec![id])),
         }
     }
+    groups.sort_by_key(|(k, _)| *k);
     if let Some(fp) = floorplan {
         let key = |f: &FlopId| {
             let p = fp.placement.flop(*f);
@@ -78,34 +93,54 @@ pub fn insert_scan(
             let x_key = if row % 2 == 0 { p.x } else { -p.x };
             (row, (x_key * 1000.0) as i64)
         };
-        rising.sort_by_key(key);
-        falling.sort_by_key(key);
+        for (_, members) in &mut groups {
+            members.sort_by_key(key);
+        }
     }
-    let has_neg = !falling.is_empty();
-    let data_chains = if has_neg && config.num_chains > 1 {
-        config.num_chains - 1
-    } else {
-        config.num_chains
-    };
-    let mut lengths = vec![0u32; config.num_chains as usize];
-    // Contiguous split keeps placement order within each chain.
-    let per_chain = rising.len().div_ceil(data_chains as usize).max(1);
-    for (i, &f) in rising.iter().enumerate() {
-        let chain = (i / per_chain).min(data_chains as usize - 1) as u16;
-        let position = lengths[chain as usize];
-        netlist.set_scan_role(f, ScanRole { chain, position });
-        lengths[chain as usize] += 1;
+
+    let num_rising = groups.iter().filter(|((e, _), _)| *e == 0).count();
+    let num_falling = groups.len() - num_rising;
+    // Every group needs one chain; falling groups get exactly one each.
+    let total = (config.num_chains as usize).max(groups.len());
+    let mut alloc: Vec<usize> = groups.iter().map(|_| 1).collect();
+    let mut spare = total - num_falling - num_rising;
+    // Hand spare chains to rising groups greedily by current per-chain
+    // load (deterministic D'Hondt-style rounding), never giving a group
+    // more chains than it has flops.
+    while spare > 0 {
+        let best = (0..num_rising)
+            .filter(|&g| alloc[g] < groups[g].1.len())
+            .max_by(|&a, &b| {
+                let la = groups[a].1.len() as f64 / alloc[a] as f64;
+                let lb = groups[b].1.len() as f64 / alloc[b] as f64;
+                la.partial_cmp(&lb).unwrap().then(b.cmp(&a))
+            });
+        let Some(g) = best else {
+            break; // every rising group saturated; leave the rest unused
+        };
+        alloc[g] += 1;
+        spare -= 1;
     }
+
+    let mut lengths = vec![0u32; total];
     let mut negative_edge_chain = None;
-    if has_neg {
-        let chain = config.num_chains - 1;
-        negative_edge_chain = Some(chain);
-        for &f in &falling {
+    let mut base: u16 = 0;
+    for (g, ((edge_rank, _), members)) in groups.iter().enumerate() {
+        let chains = alloc[g];
+        if *edge_rank == 1 && negative_edge_chain.is_none() {
+            negative_edge_chain = Some(base);
+        }
+        // Contiguous split keeps placement order within each chain.
+        let per_chain = members.len().div_ceil(chains).max(1);
+        for (i, &f) in members.iter().enumerate() {
+            let chain = base + (i / per_chain).min(chains - 1) as u16;
             let position = lengths[chain as usize];
             netlist.set_scan_role(f, ScanRole { chain, position });
             lengths[chain as usize] += 1;
         }
+        base += chains as u16;
     }
+    lengths.truncate(base as usize);
     while lengths.last() == Some(&0) {
         lengths.pop();
     }
@@ -207,5 +242,73 @@ mod tests {
     #[should_panic(expected = "at least one scan chain")]
     fn zero_chains_rejected() {
         let _ = ScanConfig::new(0);
+    }
+
+    fn two_domains(n_a: usize, n_b: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("s");
+        let blk = b.add_block("B1");
+        let clka = b.add_clock_domain("clka", 100e6);
+        let clkb = b.add_clock_domain("clkb", 50e6);
+        for i in 0..(n_a + n_b) {
+            let d = b.add_primary_input(format!("d{i}"));
+            let q = b.add_net(format!("q{i}"));
+            let clk = if i < n_a { clka } else { clkb };
+            b.add_flop(format!("ff{i}"), d, q, clk, ClockEdge::Rising, blk)
+                .unwrap();
+        }
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        b.add_primary_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chains_never_mix_clock_domains() {
+        let mut n = two_domains(60, 20);
+        let report = insert_scan(&mut n, &ScanConfig::new(8), None);
+        assert_eq!(report.num_chains(), 8);
+        for chain in 0..report.num_chains() as u16 {
+            let clocks: std::collections::HashSet<_> = n
+                .flops()
+                .iter()
+                .filter(|f| f.scan.unwrap().chain == chain)
+                .map(|f| f.clock)
+                .collect();
+            assert!(clocks.len() <= 1, "chain {chain} mixes domains");
+        }
+        // Allocation tracks group size: the 60-flop domain gets more
+        // chains than the 20-flop one.
+        let chains_of = |clk: u32| {
+            let clk = scap_netlist::ClockId::new(clk);
+            n.flops()
+                .iter()
+                .filter(|f| f.clock == clk)
+                .map(|f| f.scan.unwrap().chain)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(chains_of(0) > chains_of(1));
+    }
+
+    #[test]
+    fn more_domains_than_chains_extends_chain_count() {
+        let mut b = NetlistBuilder::new("s");
+        let blk = b.add_block("B1");
+        for i in 0..3 {
+            let clk = b.add_clock_domain(format!("clk{i}"), 100e6);
+            let d = b.add_primary_input(format!("d{i}"));
+            let q = b.add_net(format!("q{i}"));
+            b.add_flop(format!("ff{i}"), d, q, clk, ClockEdge::Rising, blk)
+                .unwrap();
+        }
+        let a = b.add_primary_input("a");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[a], y, blk).unwrap();
+        b.add_primary_output(y);
+        let mut n = b.finish().unwrap();
+        let report = insert_scan(&mut n, &ScanConfig::new(1), None);
+        assert_eq!(report.num_chains(), 3, "{:?}", report.lengths);
+        assert_eq!(report.total_cells(), 3);
     }
 }

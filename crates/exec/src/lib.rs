@@ -154,13 +154,17 @@ impl Executor {
         // enough to amortize the claim.
         let chunk = (n / (workers * 8)).max(1);
         let cursor = AtomicUsize::new(0);
-        let out = SharedSlots(results.as_mut_ptr());
+        // Finished chunks land here tagged with their start index; the
+        // merge below puts every value back at its input's slot, so the
+        // output is independent of completion order. One short lock per
+        // chunk (~8 chunks per worker), never held while `f` runs.
+        let done: std::sync::Mutex<Vec<(usize, Vec<R>)>> =
+            std::sync::Mutex::new(Vec::with_capacity(n.div_ceil(chunk)));
         let metrics_on = scap_obs::is_enabled();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let out = &out;
                     let mut state = init();
                     let mut claims = 0u64;
                     let mut handled = 0u64;
@@ -172,13 +176,13 @@ impl Executor {
                         let end = (start + chunk).min(n);
                         claims += 1;
                         handled += (end - start) as u64;
-                        for (i, item) in items[start..end].iter().enumerate() {
-                            let value = f(&mut state, item);
-                            // SAFETY: index `start + i` is claimed by
-                            // exactly one worker (disjoint cursor ranges)
-                            // and `results` outlives the scope.
-                            unsafe { out.0.add(start + i).write(Some(value)) };
-                        }
+                        let values: Vec<R> = items[start..end]
+                            .iter()
+                            .map(|item| f(&mut state, item))
+                            .collect();
+                        done.lock()
+                            .expect("result sink poisoned")
+                            .push((start, values));
                     }
                     if metrics_on {
                         scap_obs::counter!("exec.chunk_claims").add(claims);
@@ -188,6 +192,11 @@ impl Executor {
             }
         });
 
+        for (start, values) in done.into_inner().expect("result sink poisoned") {
+            for (i, value) in values.into_iter().enumerate() {
+                results[start + i] = Some(value);
+            }
+        }
         results
             .into_iter()
             .map(|slot| slot.expect("every index claimed exactly once"))
@@ -225,13 +234,6 @@ where
 {
     Executor::new().join2(a, b)
 }
-
-/// Raw pointer to the result slots, shared across workers. Safe because
-/// workers write disjoint indices and the vector outlives the scope.
-struct SharedSlots<R>(*mut Option<R>);
-
-unsafe impl<R: Send> Send for SharedSlots<R> {}
-unsafe impl<R: Send> Sync for SharedSlots<R> {}
 
 #[cfg(test)]
 mod tests {

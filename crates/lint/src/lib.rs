@@ -1,0 +1,49 @@
+//! Cross-layer design-rule checker (DRC) for the noise-aware ATPG flow.
+//!
+//! The paper's flow rests on structural preconditions that nothing used
+//! to check after construction: scan chains must be continuous and
+//! per-clock-domain, "quiet" blocks really 0-filled, the VDD/VSS meshes
+//! fully pad-connected, the stamped Laplacian symmetric and dominant.
+//! This crate makes each of those an explicit **rule** with a stable ID
+//! (`NET001` … `PAT003`), a severity, and a [`Span`] naming the offending
+//! object, so a bad generator or refactor fails as a diagnostic instead
+//! of as wrong Table-3 numbers.
+//!
+//! * [`LintContext`] — the input bundle; everything beyond the netlist is
+//!   optional, and rules skip absent layers.
+//! * [`run_all`] — runs the full registry in parallel (via `scap-exec`)
+//!   with per-rule counters and span timers (via `scap-obs`).
+//! * [`LintReport`] — findings in stable order plus per-rule stats, with
+//!   text and JSON rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use scap_netlist::{CellKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), scap_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("d");
+//! let blk = b.add_block("B1");
+//! let a = b.add_primary_input("a");
+//! let y = b.add_net("y");
+//! b.add_gate(CellKind::Inv, &[a], y, blk)?;
+//! b.add_primary_output(y);
+//! let netlist = b.finish()?;
+//!
+//! let report = scap_lint::run_all(&scap_lint::LintContext::new(&netlist));
+//! assert_eq!(report.errors(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod context;
+mod diag;
+mod registry;
+pub mod rules;
+
+pub use context::{LintConfig, LintContext, MeshSpec, QuietSpec, QuietStage, ScreenSpec};
+pub use diag::{Finding, LintReport, MeshKind, RuleStat, Severity, Span};
+pub use registry::{all_rules, run_all, run_rules, Rule};

@@ -1,0 +1,127 @@
+//! The rule trait, the registry of all shipped rules, and the parallel
+//! runner.
+
+use crate::context::LintContext;
+use crate::diag::{Finding, LintReport, RuleStat, Severity};
+use crate::rules;
+use scap_exec::Executor;
+use std::time::Instant;
+
+/// One design rule.
+///
+/// Rules are pure functions of the [`LintContext`]: they push findings
+/// and must not mutate shared state, so the registry can run them in
+/// parallel. A rule whose input layer is absent from the context (no
+/// clock tree, no meshes, …) produces no findings.
+pub trait Rule: Send + Sync {
+    /// Stable identifier, e.g. `"NET001"`.
+    fn id(&self) -> &'static str;
+    /// Severity of every finding this rule produces.
+    fn severity(&self) -> Severity;
+    /// Which layer the rule checks: `netlist`, `scan`, `clock`, `grid` or
+    /// `pattern`.
+    fn layer(&self) -> &'static str;
+    /// One-line description for catalogs and `--help`-style output.
+    fn description(&self) -> &'static str;
+    /// Metric name for the per-rule span timer (must be `'static` for the
+    /// obs interner), e.g. `"lint.rule.net001"`.
+    fn metric(&self) -> &'static str;
+    /// Runs the check, pushing findings.
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>);
+
+    /// Convenience constructor stamping this rule's id and severity.
+    fn finding(&self, span: crate::diag::Span, message: String) -> Finding {
+        Finding::new(self.id(), self.severity(), span, message)
+    }
+}
+
+/// Every shipped rule, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(rules::netlist::FloatingNet),
+        Box::new(rules::netlist::MultiDrivenNet),
+        Box::new(rules::netlist::CombinationalLoop),
+        Box::new(rules::netlist::UnreachableGate),
+        Box::new(rules::netlist::FanoutOutlier),
+        Box::new(rules::netlist::CrossBlockCycle),
+        Box::new(rules::scan::ChainContinuity),
+        Box::new(rules::scan::ChainBalance),
+        Box::new(rules::scan::ChainDomainConsistency),
+        Box::new(rules::scan::UnscannedFlop),
+        Box::new(rules::clock::TreeStructure),
+        Box::new(rules::clock::DelaySanity),
+        Box::new(rules::clock::DomainPeriodSanity),
+        Box::new(rules::grid::PadReachability),
+        Box::new(rules::grid::ConductanceSanity),
+        Box::new(rules::grid::MatrixShape),
+        Box::new(rules::pattern::FillConsistency),
+        Box::new(rules::pattern::QuietBlocks),
+        Box::new(rules::pattern::ScreenConsistency),
+    ]
+}
+
+/// Runs every registered rule against `ctx`, in parallel, and returns the
+/// report with findings in stable order.
+pub fn run_all(ctx: &LintContext) -> LintReport {
+    run_rules(ctx, all_rules())
+}
+
+/// Runs an explicit rule list (used by focused tests).
+pub fn run_rules(ctx: &LintContext, rules: Vec<Box<dyn Rule>>) -> LintReport {
+    let per_rule: Vec<(RuleStat, Vec<Finding>)> = Executor::new().parallel_map(&rules, |rule| {
+        let _span = scap_obs::Span::enter(scap_obs::span_stats(rule.metric()));
+        let started = Instant::now();
+        let mut found = Vec::new();
+        rule.run(ctx, &mut found);
+        scap_obs::counter!("lint.rules_run").incr();
+        scap_obs::counter!("lint.findings").add(found.len() as u64);
+        let stat = RuleStat {
+            rule: rule.id(),
+            findings: found.len(),
+            micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        };
+        (stat, found)
+    });
+    let mut stats = Vec::with_capacity(per_rule.len());
+    let mut findings = Vec::new();
+    for (stat, found) in per_rule {
+        stats.push(stat);
+        findings.extend(found);
+    }
+    stats.sort_by_key(|s| s.rule);
+    findings.sort_by(|a, b| (a.rule, &a.span, &a.message).cmp(&(b.rule, &b.span, &b.message)));
+    LintReport {
+        findings,
+        rules: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rule_ids_are_unique_and_well_formed() {
+        let rules = all_rules();
+        let ids: HashSet<&str> = rules.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), rules.len(), "duplicate rule id");
+        for r in &rules {
+            assert!(
+                r.id().len() >= 6 && r.id().chars().rev().take(3).all(|c| c.is_ascii_digit()),
+                "bad id {}",
+                r.id()
+            );
+            assert!(r.metric().starts_with("lint.rule."), "{}", r.metric());
+            assert!(!r.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_five_layers() {
+        let layers: HashSet<&str> = all_rules().iter().map(|r| r.layer()).collect();
+        for expected in ["netlist", "scan", "clock", "grid", "pattern"] {
+            assert!(layers.contains(expected), "missing layer {expected}");
+        }
+    }
+}

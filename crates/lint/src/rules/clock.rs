@@ -1,0 +1,155 @@
+//! Clock/timing-layer rules (`CLK00x`).
+
+use crate::context::LintContext;
+use crate::diag::{Finding, Severity, Span};
+use crate::registry::Rule;
+use scap_netlist::{ClockId, FlopId, GateId};
+
+/// `CLK001` — the clock tree must be a forest with parents stored before
+/// children; `arrivals_with_drop` accumulates delays in one forward pass
+/// and silently mis-times every sink below a violation.
+#[derive(Debug)]
+pub struct TreeStructure;
+
+impl Rule for TreeStructure {
+    fn id(&self) -> &'static str {
+        "CLK001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "clock"
+    }
+    fn description(&self) -> &'static str {
+        "clock-tree cycle: a buffer's parent does not precede it (forward-pass order broken)"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.clk001"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(tree) = ctx.clock_tree else { return };
+        let len = tree.buffers().len() as u32;
+        for (i, b) in tree.buffers().iter().enumerate() {
+            let i = i as u32;
+            if let Some(p) = b.parent {
+                if p >= len {
+                    out.push(self.finding(
+                        Span::Buffer(i),
+                        format!("buffer {i} has out-of-range parent {p} (tree has {len})"),
+                    ));
+                } else if p >= i {
+                    out.push(self.finding(
+                        Span::Buffer(i),
+                        format!(
+                            "buffer {i} has parent {p} at or after itself — cycle or reordered tree"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `CLK002` — every annotated delay must be finite and non-negative:
+/// gate rise/fall, flop clock-to-Q, and clock-buffer delays. STA and the
+/// SCAP window math trust these without checks.
+#[derive(Debug)]
+pub struct DelaySanity;
+
+impl Rule for DelaySanity {
+    fn id(&self) -> &'static str {
+        "CLK002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "clock"
+    }
+    fn description(&self) -> &'static str {
+        "negative or non-finite annotated delay (gate, flop clock-to-Q, or clock buffer)"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.clk002"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let bad = |v: f64| !v.is_finite() || v < 0.0;
+        if let Some(ann) = ctx.annotation {
+            for i in 0..ann.num_gates() {
+                let id = GateId::new(i as u32);
+                let (r, f) = (ann.gate_rise_ps(id), ann.gate_fall_ps(id));
+                if bad(r) || bad(f) {
+                    out.push(self.finding(
+                        Span::Gate(id),
+                        format!("gate {id:?} has rise {r} ps / fall {f} ps"),
+                    ));
+                }
+            }
+            for i in 0..ann.num_flops() {
+                let id = FlopId::new(i as u32);
+                let d = ann.flop_clk_to_q_ps(id);
+                if bad(d) {
+                    out.push(
+                        self.finding(Span::Flop(id), format!("flop {id:?} has clock-to-Q {d} ps")),
+                    );
+                }
+            }
+        }
+        if let Some(tree) = ctx.clock_tree {
+            for (i, b) in tree.buffers().iter().enumerate() {
+                if bad(b.delay_ps) {
+                    out.push(self.finding(
+                        Span::Buffer(i as u32),
+                        format!("clock buffer {i} has delay {} ps", b.delay_ps),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `CLK003` — clock-domain frequencies must be sane: finite, positive,
+/// and within the range the picosecond period math can represent.
+#[derive(Debug)]
+pub struct DomainPeriodSanity;
+
+impl Rule for DomainPeriodSanity {
+    fn id(&self) -> &'static str {
+        "CLK003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "clock"
+    }
+    fn description(&self) -> &'static str {
+        "clock domain with a non-finite, non-positive or unrepresentable frequency"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.clk003"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        for (i, clk) in ctx.netlist.clocks().iter().enumerate() {
+            let id = ClockId::new(i as u32);
+            let f = clk.frequency_hz;
+            if !f.is_finite() || f <= 0.0 {
+                out.push(self.finding(
+                    Span::Clock(id),
+                    format!("clock '{}' has frequency {f} Hz", clk.name),
+                ));
+            } else if !(1.0e3..=1.0e12).contains(&f) {
+                // Outside 1 kHz … 1 THz the period in ps is degenerate
+                // (sub-picosecond or larger than any test window).
+                out.push(self.finding(
+                    Span::Clock(id),
+                    format!(
+                        "clock '{}' frequency {f:.3e} Hz is outside the representable 1 kHz-1 THz range",
+                        clk.name
+                    ),
+                ));
+            }
+        }
+    }
+}

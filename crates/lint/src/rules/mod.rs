@@ -1,0 +1,7 @@
+//! The shipped rule set, one module per layer.
+
+pub mod clock;
+pub mod grid;
+pub mod netlist;
+pub mod pattern;
+pub mod scan;

@@ -1,0 +1,406 @@
+//! Netlist-layer rules (`NET00x`).
+//!
+//! These re-derive connectivity from the gate and flop tables instead of
+//! trusting the netlist's precomputed fanout lists, so they still catch
+//! corruption introduced through the invariant-breaking mutation
+//! accessors (`Netlist::net_mut` and friends), after which the cached
+//! lists are stale by design.
+
+use crate::context::LintContext;
+use crate::diag::{Finding, Severity, Span};
+use crate::registry::Rule;
+use scap_netlist::{GateId, NetId, NetSource, Netlist};
+
+/// The structural driver count of every net, recomputed from scratch:
+/// gate outputs, flop Q pins, primary inputs and constant ties.
+fn driver_counts(n: &Netlist) -> Vec<u32> {
+    let mut counts = vec![0u32; n.num_nets()];
+    for g in n.gates() {
+        counts[g.output.index()] += 1;
+    }
+    for f in n.flops() {
+        counts[f.q.index()] += 1;
+    }
+    for &pi in n.primary_inputs() {
+        counts[pi.index()] += 1;
+    }
+    for (i, net) in n.nets().iter().enumerate() {
+        if let Some(NetSource::Const(_)) = net.source {
+            counts[i] += 1;
+        }
+    }
+    counts
+}
+
+/// `NET001` — every net must have exactly one structural driver, and the
+/// recorded `source` must agree with it.
+#[derive(Debug)]
+pub struct FloatingNet;
+
+impl Rule for FloatingNet {
+    fn id(&self) -> &'static str {
+        "NET001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "netlist"
+    }
+    fn description(&self) -> &'static str {
+        "floating net: no structural driver, or a recorded source that no longer drives the net"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.net001"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        let counts = driver_counts(n);
+        for (i, net) in n.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            if counts[i] == 0 {
+                out.push(self.finding(Span::Net(id), format!("net '{}' has no driver", net.name)));
+                continue;
+            }
+            // A recorded source that points at an instance which no longer
+            // drives this net is a floating net in disguise: simulation
+            // trusts `source` and would read a stale or absent value.
+            let stale = match net.source {
+                Some(NetSource::Gate(g)) => n.gate(g).output != id,
+                Some(NetSource::Flop(f)) => n.flop(f).q != id,
+                Some(NetSource::PrimaryInput) => !n.primary_inputs().contains(&id),
+                Some(NetSource::Const(_)) => false,
+                None => true,
+            };
+            if stale {
+                out.push(self.finding(
+                    Span::Net(id),
+                    format!(
+                        "net '{}' records source {:?} which does not drive it",
+                        net.name, net.source
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `NET002` — no net may have more than one structural driver.
+#[derive(Debug)]
+pub struct MultiDrivenNet;
+
+impl Rule for MultiDrivenNet {
+    fn id(&self) -> &'static str {
+        "NET002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "netlist"
+    }
+    fn description(&self) -> &'static str {
+        "multi-driven net: more than one gate output, flop Q, primary input or constant tie"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.net002"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        for (i, &count) in driver_counts(n).iter().enumerate() {
+            if count > 1 {
+                let id = NetId::new(i as u32);
+                out.push(self.finding(
+                    Span::Net(id),
+                    format!("net '{}' has {} drivers", n.net(id).name, count),
+                ));
+            }
+        }
+    }
+}
+
+/// `NET003` — the combinational core must be acyclic.
+///
+/// Backs the `debug_assert!` in `Levelization::build`: release builds no
+/// longer abort on a loop, this rule reports it instead.
+#[derive(Debug)]
+pub struct CombinationalLoop;
+
+impl Rule for CombinationalLoop {
+    fn id(&self) -> &'static str {
+        "NET003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "netlist"
+    }
+    fn description(&self) -> &'static str {
+        "combinational loop: a gate feeds its own input cone without an intervening flop"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.net003"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        // Kahn over gate→gate edges, recomputed from the gate table.
+        let mut driving_gate = vec![None; n.num_nets()];
+        for (i, g) in n.gates().iter().enumerate() {
+            driving_gate[g.output.index()] = Some(i);
+        }
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n.num_gates()];
+        let mut indeg = vec![0u32; n.num_gates()];
+        for (i, g) in n.gates().iter().enumerate() {
+            for &inp in &g.inputs {
+                if let Some(src) = driving_gate[inp.index()] {
+                    readers[src].push(i as u32);
+                    indeg[i] += 1;
+                }
+            }
+        }
+        let mut queue: std::collections::VecDeque<u32> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(g) = queue.pop_front() {
+            processed += 1;
+            for &r in &readers[g as usize] {
+                indeg[r as usize] -= 1;
+                if indeg[r as usize] == 0 {
+                    queue.push_back(r);
+                }
+            }
+        }
+        if processed == n.num_gates() {
+            return;
+        }
+        for (i, &d) in indeg.iter().enumerate() {
+            if d > 0 {
+                let id = GateId::new(i as u32);
+                out.push(self.finding(
+                    Span::Gate(id),
+                    format!(
+                        "gate {:?} ({:?}) is part of a combinational cycle",
+                        id,
+                        n.gate(id).kind
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `NET004` — every gate's output must (transitively) reach a flop D pin
+/// or a primary output; anything else is dead logic the fault model and
+/// power model silently disagree about.
+#[derive(Debug)]
+pub struct UnreachableGate;
+
+impl Rule for UnreachableGate {
+    fn id(&self) -> &'static str {
+        "NET004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn layer(&self) -> &'static str {
+        "netlist"
+    }
+    fn description(&self) -> &'static str {
+        "unreachable gate: output never reaches a flop D pin or primary output"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.net004"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        let mut driving_gate = vec![None; n.num_nets()];
+        for (i, g) in n.gates().iter().enumerate() {
+            driving_gate[g.output.index()] = Some(i as u32);
+        }
+        // Reverse BFS from observed nets: PO nets and flop D nets.
+        let mut reachable = vec![false; n.num_gates()];
+        let mut stack: Vec<u32> = Vec::new();
+        let seed = |net: NetId, stack: &mut Vec<u32>, reachable: &mut Vec<bool>| {
+            if let Some(g) = driving_gate[net.index()] {
+                if !std::mem::replace(&mut reachable[g as usize], true) {
+                    stack.push(g);
+                }
+            }
+        };
+        for &po in n.primary_outputs() {
+            seed(po, &mut stack, &mut reachable);
+        }
+        for f in n.flops() {
+            seed(f.d, &mut stack, &mut reachable);
+        }
+        while let Some(g) = stack.pop() {
+            for &inp in &n.gate(GateId::new(g)).inputs {
+                seed(inp, &mut stack, &mut reachable);
+            }
+        }
+        for (i, &ok) in reachable.iter().enumerate() {
+            if !ok {
+                let id = GateId::new(i as u32);
+                out.push(self.finding(
+                    Span::Gate(id),
+                    format!(
+                        "gate {:?} ({:?}) output '{}' never reaches a flop or primary output",
+                        id,
+                        n.gate(id).kind,
+                        n.net(n.gate(id).output).name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `NET005` — fanout outliers: a net read by far more pins than the rest
+/// of the design suggests a stitching bug (or a missing buffer tree).
+#[derive(Debug)]
+pub struct FanoutOutlier;
+
+impl Rule for FanoutOutlier {
+    fn id(&self) -> &'static str {
+        "NET005"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn layer(&self) -> &'static str {
+        "netlist"
+    }
+    fn description(&self) -> &'static str {
+        "fanout outlier: reader count far above both the absolute floor and the design average"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.net005"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        let mut readers = vec![0u32; n.num_nets()];
+        for g in n.gates() {
+            for &inp in &g.inputs {
+                readers[inp.index()] += 1;
+            }
+        }
+        for f in n.flops() {
+            readers[f.d.index()] += 1;
+        }
+        let read_nets: Vec<u32> = readers.iter().copied().filter(|&r| r > 0).collect();
+        if read_nets.is_empty() {
+            return;
+        }
+        let avg = read_nets.iter().map(|&r| r as f64).sum::<f64>() / read_nets.len() as f64;
+        let threshold =
+            (ctx.config.fanout_warn_floor as f64).max(avg * ctx.config.fanout_warn_factor);
+        for (i, &r) in readers.iter().enumerate() {
+            if r as f64 > threshold {
+                let id = NetId::new(i as u32);
+                out.push(self.finding(
+                    Span::Net(id),
+                    format!(
+                        "net '{}' has {} readers (design average {:.1}, threshold {:.0})",
+                        n.net(id).name,
+                        r,
+                        avg,
+                        threshold
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `NET006` — block-level combinational dependencies must be acyclic.
+///
+/// The generator only exports bus nets from earlier blocks to later ones,
+/// so a cycle between blocks means a combinational path crosses block
+/// boundaries in both directions — the staged noise-aware flow then can't
+/// keep an untargeted block quiet, because its logic sits inside another
+/// block's launch path.
+#[derive(Debug)]
+pub struct CrossBlockCycle;
+
+impl Rule for CrossBlockCycle {
+    fn id(&self) -> &'static str {
+        "NET006"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "netlist"
+    }
+    fn description(&self) -> &'static str {
+        "combinational paths cross block boundaries in a cycle between blocks"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.net006"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        let nb = n.blocks().len();
+        if nb < 2 {
+            return;
+        }
+        // Block-level digraph over combinational arcs only: an edge a→b
+        // when a gate in block b reads a net driven by a gate in block a.
+        let mut driving_block = vec![None; n.num_nets()];
+        for g in n.gates() {
+            driving_block[g.output.index()] = Some(g.block);
+        }
+        let mut edges = vec![false; nb * nb];
+        for g in n.gates() {
+            for &inp in &g.inputs {
+                if let Some(src) = driving_block[inp.index()] {
+                    if src != g.block {
+                        edges[src.index() * nb + g.block.index()] = true;
+                    }
+                }
+            }
+        }
+        // Kahn over blocks; whatever survives sits in a cycle.
+        let mut indeg = vec![0u32; nb];
+        for a in 0..nb {
+            for b in 0..nb {
+                if edges[a * nb + b] {
+                    indeg[b] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..nb).filter(|&b| indeg[b] == 0).collect();
+        let mut remaining = nb;
+        while let Some(a) = queue.pop() {
+            remaining -= 1;
+            for b in 0..nb {
+                if edges[a * nb + b] {
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        if remaining == 0 {
+            return;
+        }
+        for (b, &d) in indeg.iter().enumerate() {
+            if d > 0 {
+                let id = scap_netlist::BlockId::new(b as u32);
+                out.push(self.finding(
+                    Span::Block(id),
+                    format!(
+                        "block '{}' is part of a cross-block combinational cycle",
+                        n.block(id).name
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Pattern-layer rules (`PAT00x`).
+
+use crate::context::LintContext;
+use crate::diag::{Finding, Severity, Span};
+use crate::registry::Rule;
+
+/// `PAT001` — every pattern must be fully specified and consistent with
+/// its pre-fill source: same widths as the netlist, a filled form for
+/// every source, and every care bit preserved by fill. A violation means
+/// an X (or a silently flipped care bit) reaches the tester.
+#[derive(Debug)]
+pub struct FillConsistency;
+
+impl Rule for FillConsistency {
+    fn id(&self) -> &'static str {
+        "PAT001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "pattern"
+    }
+    fn description(&self) -> &'static str {
+        "residual X after fill: pattern without a filled form, width mismatch, or dropped care bit"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.pat001"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(set) = ctx.patterns else { return };
+        let n = ctx.netlist;
+        let (flops, pis) = (n.num_flops(), n.primary_inputs().len());
+        if set.source.len() != set.filled.len() {
+            out.push(self.finding(
+                Span::Design,
+                format!(
+                    "{} source pattern(s) but {} filled — X bits of the unfilled tail reach the tester",
+                    set.source.len(),
+                    set.filled.len()
+                ),
+            ));
+        }
+        for (p, filled) in set.filled.iter().enumerate() {
+            if filled.load.len() != flops || filled.pi.len() != pis {
+                out.push(self.finding(
+                    Span::Pattern(p),
+                    format!(
+                        "filled widths {}x{} do not match the design's {flops} flops / {pis} PIs",
+                        filled.load.len(),
+                        filled.pi.len()
+                    ),
+                ));
+                continue;
+            }
+            let Some(source) = set.source.get(p) else {
+                continue;
+            };
+            if source.load.len() != flops || source.pi.len() != pis {
+                out.push(self.finding(
+                    Span::Pattern(p),
+                    format!(
+                        "source widths {}x{} do not match the design's {flops} flops / {pis} PIs",
+                        source.load.len(),
+                        source.pi.len()
+                    ),
+                ));
+                continue;
+            }
+            let dropped_load = source
+                .load
+                .iter()
+                .zip(&filled.load)
+                .filter(|(s, &f)| s.to_bool().is_some_and(|b| b != f))
+                .count();
+            let dropped_pi = source
+                .pi
+                .iter()
+                .zip(&filled.pi)
+                .filter(|(s, &f)| s.to_bool().is_some_and(|b| b != f))
+                .count();
+            if dropped_load + dropped_pi > 0 {
+                out.push(self.finding(
+                    Span::Pattern(p),
+                    format!(
+                        "fill changed {} care bit(s) ({} load, {} PI)",
+                        dropped_load + dropped_pi,
+                        dropped_load,
+                        dropped_pi
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `PAT002` — blocks a staged flow declared quiet must actually be quiet:
+/// the aggregate ones-fraction of their scan-load bits over the stage's
+/// patterns stays under the declared tolerance (fill-0 keeps untargeted
+/// blocks near all-zero, which is what bounds their launch-window SCAP).
+#[derive(Debug)]
+pub struct QuietBlocks;
+
+impl Rule for QuietBlocks {
+    fn id(&self) -> &'static str {
+        "PAT002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "pattern"
+    }
+    fn description(&self) -> &'static str {
+        "quiet-block violation: toggles loaded into a block the staged flow declared quiet"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.pat002"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let (Some(set), Some(quiet)) = (ctx.patterns, &ctx.quiet) else {
+            return;
+        };
+        let n = ctx.netlist;
+        for stage in &quiet.stages {
+            let (start, end) = stage.range;
+            let end = end.min(set.filled.len());
+            if start >= end || end - start < quiet.min_patterns {
+                continue;
+            }
+            for &block in &stage.quiet_blocks {
+                let cells: Vec<usize> = n.flops_in_block(block).map(|f| f.index()).collect();
+                if cells.is_empty() {
+                    continue;
+                }
+                let mut ones = 0usize;
+                for filled in &set.filled[start..end] {
+                    ones += cells
+                        .iter()
+                        .filter(|&&c| filled.load.get(c).copied().unwrap_or(false))
+                        .count();
+                }
+                let fraction = ones as f64 / (cells.len() * (end - start)) as f64;
+                if fraction > quiet.max_ones_fraction {
+                    out.push(self.finding(
+                        Span::Block(block),
+                        format!(
+                            "'{}' ({} patterns) loads {:.1} % ones into quiet block '{}' (tolerance {:.0} %)",
+                            stage.label,
+                            end - start,
+                            100.0 * fraction,
+                            n.block(block).name,
+                            100.0 * quiet.max_ones_fraction
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `PAT003` — SCAP-screen consistency: a flow that declares its output
+/// screened must not emit a pattern whose per-block SCAP exceeds the
+/// block's threshold. (The paper's procedure drops or regenerates such
+/// patterns; emitting one re-introduces the very noise event the screen
+/// exists to prevent.)
+#[derive(Debug)]
+pub struct ScreenConsistency;
+
+impl Rule for ScreenConsistency {
+    fn id(&self) -> &'static str {
+        "PAT003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "pattern"
+    }
+    fn description(&self) -> &'static str {
+        "screened set emits a pattern above a block's SCAP threshold"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.pat003"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(screen) = &ctx.screen else { return };
+        let n = ctx.netlist;
+        for &p in &screen.emitted {
+            let Some(row) = screen.pattern_block_mw.get(p) else {
+                out.push(self.finding(
+                    Span::Pattern(p),
+                    format!(
+                        "emitted pattern {p} has no SCAP measurement (only {} measured)",
+                        screen.pattern_block_mw.len()
+                    ),
+                ));
+                continue;
+            };
+            for (b, &mw) in row.iter().enumerate() {
+                let Some(&threshold) = screen.thresholds_mw.get(b) else {
+                    continue;
+                };
+                if mw > threshold * (1.0 + 1e-9) {
+                    let name = n
+                        .blocks()
+                        .get(b)
+                        .map(|blk| blk.name.as_str())
+                        .unwrap_or("?");
+                    out.push(self.finding(
+                        Span::Pattern(p),
+                        format!(
+                            "emitted pattern {p} draws {mw:.3} mW in block '{name}', above the {threshold:.3} mW screen threshold"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Scan-layer rules (`SCAN00x`).
+//!
+//! All four rules read the [`ScanRole`](scap_netlist::ScanRole)s stored
+//! on the flops, so they apply to any design that went through
+//! `insert_scan` (or claims to have). They no-op on a pre-scan netlist
+//! (no flop carries a role).
+
+use crate::context::LintContext;
+use crate::diag::{Finding, Severity, Span};
+use crate::registry::Rule;
+use scap_netlist::{ClockEdge, ClockId, FlopId, Netlist};
+
+/// `(chain, members)` with members in position order, derived from roles.
+fn chains_of(n: &Netlist) -> Vec<(u16, Vec<FlopId>)> {
+    let mut chains: Vec<(u16, Vec<FlopId>)> = Vec::new();
+    for (i, f) in n.flops().iter().enumerate() {
+        let Some(role) = f.scan else { continue };
+        let id = FlopId::new(i as u32);
+        match chains.iter_mut().find(|(c, _)| *c == role.chain) {
+            Some((_, members)) => members.push(id),
+            None => chains.push((role.chain, vec![id])),
+        }
+    }
+    chains.sort_by_key(|(c, _)| *c);
+    for (_, members) in &mut chains {
+        members.sort_by_key(|&f| n.flop(f).scan.map(|r| r.position));
+    }
+    chains
+}
+
+fn scan_inserted(n: &Netlist) -> bool {
+    n.flops().iter().any(|f| f.scan.is_some())
+}
+
+/// `SCAN001` — chain positions must be dense: exactly `0..len`, no
+/// duplicates, no gaps. A broken chain shifts every downstream load bit.
+#[derive(Debug)]
+pub struct ChainContinuity;
+
+impl Rule for ChainContinuity {
+    fn id(&self) -> &'static str {
+        "SCAN001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "scan"
+    }
+    fn description(&self) -> &'static str {
+        "broken chain: positions are not a dense 0..len sequence (duplicate or gap)"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.scan001"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        for (chain, members) in chains_of(ctx.netlist) {
+            let mut positions: Vec<u32> = members
+                .iter()
+                .filter_map(|&f| ctx.netlist.flop(f).scan)
+                .map(|r| r.position)
+                .collect();
+            positions.sort_unstable();
+            for (expect, &got) in positions.iter().enumerate() {
+                if expect as u32 != got {
+                    let what = if positions[..expect].last() == Some(&got) {
+                        format!("duplicate position {got}")
+                    } else {
+                        format!("gap before position {got} (expected {expect})")
+                    };
+                    out.push(self.finding(
+                        Span::Chain(chain),
+                        format!("chain {chain} is discontinuous: {what}"),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// `SCAN002` — chains serving the same `(clock, edge)` group should be
+/// balanced; one long chain sets the shift time of the whole test.
+#[derive(Debug)]
+pub struct ChainBalance;
+
+impl Rule for ChainBalance {
+    fn id(&self) -> &'static str {
+        "SCAN002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn layer(&self) -> &'static str {
+        "scan"
+    }
+    fn description(&self) -> &'static str {
+        "unbalanced chain: far longer than the average of its clock-domain group"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.scan002"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        // Group chains by the (clock, edge) of their first member; mixed
+        // chains are SCAN003's problem, not a balance problem.
+        type DomainGroup = ((ClockId, ClockEdge), Vec<(u16, usize)>);
+        let chains = chains_of(n);
+        let mut groups: Vec<DomainGroup> = Vec::new();
+        for (chain, members) in &chains {
+            let first = n.flop(members[0]);
+            let key = (first.clock, first.edge);
+            let entry = (*chain, members.len());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, list)) => list.push(entry),
+                None => groups.push((key, vec![entry])),
+            }
+        }
+        for (_, list) in groups {
+            if list.len() < 2 {
+                continue;
+            }
+            let avg = list.iter().map(|&(_, l)| l as f64).sum::<f64>() / list.len() as f64;
+            let threshold = ctx.config.balance_factor * avg + 1.0;
+            for (chain, len) in list {
+                if len as f64 > threshold {
+                    out.push(self.finding(
+                        Span::Chain(chain),
+                        format!(
+                            "chain {chain} holds {len} cells; its clock-domain group averages {avg:.1}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `SCAN003` — a chain must hold flops of exactly one clock domain and
+/// edge, so one shift-clock waveform drives the whole chain.
+#[derive(Debug)]
+pub struct ChainDomainConsistency;
+
+impl Rule for ChainDomainConsistency {
+    fn id(&self) -> &'static str {
+        "SCAN003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "scan"
+    }
+    fn description(&self) -> &'static str {
+        "mixed chain: flops of more than one clock domain or edge share a chain"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.scan003"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        for (chain, members) in chains_of(n) {
+            let mut kinds: Vec<(ClockId, ClockEdge)> = members
+                .iter()
+                .map(|&f| (n.flop(f).clock, n.flop(f).edge))
+                .collect();
+            kinds.sort_unstable_by_key(|&(c, e)| (c, e == ClockEdge::Falling));
+            kinds.dedup();
+            if kinds.len() > 1 {
+                let names: Vec<String> = kinds
+                    .iter()
+                    .map(|&(c, e)| {
+                        format!(
+                            "{}/{}",
+                            n.clock(c).name,
+                            match e {
+                                ClockEdge::Rising => "rise",
+                                ClockEdge::Falling => "fall",
+                            }
+                        )
+                    })
+                    .collect();
+                out.push(self.finding(
+                    Span::Chain(chain),
+                    format!("chain {chain} mixes {}", names.join(", ")),
+                ));
+            }
+        }
+    }
+}
+
+/// `SCAN004` — in a full-scan design every flop must sit in a chain; a
+/// flop without a role is unreachable from any scan-out and its state can
+/// be neither loaded nor observed.
+#[derive(Debug)]
+pub struct UnscannedFlop;
+
+impl Rule for UnscannedFlop {
+    fn id(&self) -> &'static str {
+        "SCAN004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "scan"
+    }
+    fn description(&self) -> &'static str {
+        "non-scan flop in a scanned design: not reachable from any scan-out"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.scan004"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let n = ctx.netlist;
+        if !scan_inserted(n) {
+            return;
+        }
+        for (i, f) in n.flops().iter().enumerate() {
+            if f.scan.is_none() {
+                let id = FlopId::new(i as u32);
+                out.push(self.finding(
+                    Span::Flop(id),
+                    format!("flop '{}' has no scan role", f.name),
+                ));
+            }
+        }
+    }
+}

@@ -312,6 +312,37 @@ impl Netlist {
         self.flops[flop.index()].scan = Some(role);
     }
 
+    /// Mutable access to a net — **invariant-breaking**.
+    ///
+    /// Exists so defect-injection tests (and lint fixtures) can corrupt a
+    /// built design; nothing in the production flow calls it. Mutating a
+    /// net's `source` can violate the single-driver / no-floating-net
+    /// invariants the rest of the workspace assumes, and the precomputed
+    /// [`Netlist::fanout_gates`] / [`Netlist::fanout_flops`] lists are
+    /// **not** updated. `scap-lint` deliberately recomputes connectivity
+    /// from the gate/flop tables so it still sees such corruption.
+    pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.index()]
+    }
+
+    /// Mutable access to a gate — **invariant-breaking**; see
+    /// [`Netlist::net_mut`] for the caveats.
+    pub fn gate_mut(&mut self, id: GateId) -> &mut Gate {
+        &mut self.gates[id.index()]
+    }
+
+    /// Mutable access to a flop — **invariant-breaking**; see
+    /// [`Netlist::net_mut`] for the caveats.
+    pub fn flop_mut(&mut self, id: FlopId) -> &mut Flop {
+        &mut self.flops[id.index()]
+    }
+
+    /// Mutable access to a clock domain — **invariant-breaking**; see
+    /// [`Netlist::net_mut`] for the caveats.
+    pub fn clock_mut(&mut self, id: ClockId) -> &mut ClockDomain {
+        &mut self.clocks[id.index()]
+    }
+
     /// The id of the dominant clock domain: the one controlling the most
     /// scan flops (the paper's `clka`).
     pub fn dominant_clock(&self) -> Option<ClockId> {

@@ -65,19 +65,7 @@ impl PowerGrid {
         let n = config.nodes_per_side;
         assert!(n >= 2, "mesh needs at least 2 nodes per side");
         assert!(config.num_pads > 0, "at least one pad required");
-        let g = 1.0 / config.branch_resistance_ohm;
-        let mut branches = Vec::with_capacity(2 * n * n);
-        for y in 0..n {
-            for x in 0..n {
-                let i = (y * n + x) as u32;
-                if x + 1 < n {
-                    branches.push((i, i + 1, g));
-                }
-                if y + 1 < n {
-                    branches.push((i, i + n as u32, g));
-                }
-            }
-        }
+        let branches = mesh_branches(&config);
         // Periphery nodes in ring order, pads evenly spaced along the ring.
         let mut ring: Vec<usize> = Vec::new();
         for x in 0..n {
@@ -151,6 +139,28 @@ impl PowerGrid {
         self.pinned[node]
     }
 
+    /// Pad flags for every node, indexable by node id.
+    pub fn pads(&self) -> &[bool] {
+        &self.pinned
+    }
+
+    /// The assembled reduced Laplacian as `(row, col, value)` triplets and
+    /// its dimension — the exact matrix every CG solve runs against. Lets
+    /// the `GRID003` lint rule verify symmetry and diagonal dominance of
+    /// the solver input without reaching into the solver.
+    pub fn system_triplets(&self) -> (usize, Vec<(u32, u32, f64)>) {
+        self.system.triplets()
+    }
+
+    /// The mesh branch list as `(node_a, node_b, conductance_S)` triples —
+    /// the input the reduced Laplacian was assembled from. Regenerated
+    /// from the configuration (the grid itself only retains the assembled
+    /// CSR system); used by the `GRID00x` lint rules, which re-derive
+    /// connectivity and the stamped matrix independently of the solver.
+    pub fn branches(&self) -> Vec<(u32, u32, f64)> {
+        mesh_branches(&self.config)
+    }
+
     /// Solves the mesh for the given per-node current draw (A), returning
     /// the voltage drop (V) at every node.
     pub fn solve(&self, node_currents: &[f64]) -> Vec<f64> {
@@ -197,6 +207,26 @@ impl PowerGrid {
         }
         node
     }
+}
+
+/// Branch list of a regular mesh: horizontal and vertical neighbor links,
+/// each with the configured branch conductance.
+fn mesh_branches(config: &GridConfig) -> Vec<(u32, u32, f64)> {
+    let n = config.nodes_per_side;
+    let g = 1.0 / config.branch_resistance_ohm;
+    let mut branches = Vec::with_capacity(2 * n * n);
+    for y in 0..n {
+        for x in 0..n {
+            let i = (y * n + x) as u32;
+            if x + 1 < n {
+                branches.push((i, i + 1, g));
+            }
+            if y + 1 < n {
+                branches.push((i, i + n as u32, g));
+            }
+        }
+    }
+    branches
 }
 
 /// A solver context bound to one [`PowerGrid`], holding reusable CG work

@@ -211,6 +211,19 @@ impl ReducedSystem {
         self.matrix.n()
     }
 
+    /// The assembled reduced matrix as `(row, col, value)` triplets plus
+    /// its dimension — a read-only view for external validation.
+    pub(crate) fn triplets(&self) -> (usize, Vec<(u32, u32, f64)>) {
+        let m = &self.matrix;
+        let mut t = Vec::with_capacity(m.vals.len());
+        for i in 0..m.n() {
+            for k in m.row_ptr[i] as usize..m.row_ptr[i + 1] as usize {
+                t.push((i as u32, m.cols[k], m.vals[k]));
+            }
+        }
+        (m.n(), t)
+    }
+
     /// Cold-start solve with a fresh scratch: the reference path. Results
     /// are bit-identical to assembling and solving from scratch.
     pub(crate) fn solve(&self, injection: &[f64]) -> Vec<f64> {

@@ -37,9 +37,24 @@ pub struct BatchSim<'a> {
 impl<'a> BatchSim<'a> {
     /// Builds a simulator (levelizes once).
     pub fn new(netlist: &'a Netlist) -> Self {
+        let levelization = Levelization::build(netlist);
+        // Same contract as `LogicSim::new`: the bit-parallel propagate
+        // loop relies on a complete, level-monotone evaluation order.
+        debug_assert_eq!(
+            levelization.order().len(),
+            netlist.num_gates(),
+            "levelization must cover every gate (combinational loop?)"
+        );
+        debug_assert!(
+            levelization
+                .order()
+                .windows(2)
+                .all(|w| levelization.level(w[0]) <= levelization.level(w[1])),
+            "levelization order must be monotone in level"
+        );
         BatchSim {
             netlist,
-            levelization: Levelization::build(netlist),
+            levelization,
         }
     }
 

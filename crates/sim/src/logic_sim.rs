@@ -45,9 +45,25 @@ pub struct LogicSim<'a> {
 impl<'a> LogicSim<'a> {
     /// Builds a simulator (levelizes once).
     pub fn new(netlist: &'a Netlist) -> Self {
+        let levelization = Levelization::build(netlist);
+        // The hot loop in `propagate` assumes the order covers every gate
+        // and is level-monotone, so each gate's inputs are final when it
+        // is evaluated. Checked here (debug builds) rather than per eval.
+        debug_assert_eq!(
+            levelization.order().len(),
+            netlist.num_gates(),
+            "levelization must cover every gate (combinational loop?)"
+        );
+        debug_assert!(
+            levelization
+                .order()
+                .windows(2)
+                .all(|w| levelization.level(w[0]) <= levelization.level(w[1])),
+            "levelization order must be monotone in level"
+        );
         LogicSim {
             netlist,
-            levelization: Levelization::build(netlist),
+            levelization,
         }
     }
 

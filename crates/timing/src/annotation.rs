@@ -135,8 +135,13 @@ impl DelayAnnotation {
         self.flop_clk_to_q_ps.len()
     }
 
-    /// Mutable access used by [`crate::scaling`].
-    pub(crate) fn delays_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64]) {
+    /// Mutable access to `(gate_rise_ps, gate_fall_ps, flop_clk_to_q_ps)`.
+    ///
+    /// Used by [`crate::scaling`] to apply IR-drop derating, and by
+    /// defect-injection tests that corrupt an annotation (negative or
+    /// non-finite delays are caught by the `CLK002` lint rule). Values
+    /// written here are trusted by STA without further validation.
+    pub fn delays_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64]) {
         (
             &mut self.gate_rise_ps,
             &mut self.gate_fall_ps,

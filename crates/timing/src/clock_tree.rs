@@ -167,6 +167,17 @@ impl ClockTree {
         &self.buffers
     }
 
+    /// Mutable access to a buffer — **invariant-breaking**.
+    ///
+    /// Exists for defect-injection tests: rewriting `parent` can break the
+    /// parents-precede-children ordering [`ClockTree::arrivals_with_drop`]
+    /// relies on (caught by the `CLK001` lint rule), and a negative
+    /// `delay_ps` is caught by `CLK002`. Nothing in the production flow
+    /// calls this.
+    pub fn buffer_mut(&mut self, index: u32) -> &mut TreeBuffer {
+        &mut self.buffers[index as usize]
+    }
+
     /// Nominal per-flop arrivals (no IR-drop).
     pub fn arrivals(&self) -> ClockArrivals {
         self.arrivals_with_drop(|_| 0.0, 0.0)

@@ -34,6 +34,12 @@ if [ "$fast" -eq 0 ]; then
     echo "== determinism at an odd thread count (SCAP_THREADS=3) =="
     SCAP_THREADS=3 cargo test --offline -q -p scap --test determinism
 
+    echo "== scap lint (design-rule check, warnings are errors) =="
+    cargo build --offline --release -q -p scap-cli
+    ./target/release/scap lint --scale 0.005 --deny warn
+    ./target/release/scap lint --scale 0.01 --format json --deny warn | python3 -m json.tool >/dev/null
+    echo "lint clean at scales 0.005 and 0.01; JSON output parses."
+
     echo "== BENCH_evaluation.json is strict JSON =="
     if [ -f BENCH_evaluation.json ]; then
         python3 -m json.tool BENCH_evaluation.json >/dev/null
