@@ -51,10 +51,9 @@ impl StageClock {
         out
     }
 
-    /// Renders the collected stages as a JSON document. Hand-rolled: the
-    /// workspace carries no JSON dependency, and every string that lands
-    /// here is a static identifier needing no escapes. All floats go
-    /// through [`json_num`] so a NaN/∞ can never corrupt the document.
+    /// Renders the collected stages as a JSON document, built with the
+    /// workspace's shared writer ([`scap_obs::json`]) so escaping and
+    /// non-finite-float handling (NaN/∞ → `null`) live in one place.
     ///
     /// Per-stage `"metrics"` hold the *nonzero* counter deltas; the
     /// `"totals"` object lists every registered metric with its final
@@ -69,65 +68,34 @@ impl StageClock {
         total_ms: f64,
         totals: &scap_obs::Snapshot,
     ) -> String {
-        let mut s = String::new();
-        s.push_str("{\n");
-        s.push_str(&format!("  \"scale\": {},\n", json_num(scale)));
-        s.push_str(&format!("  \"threads\": {threads},\n"));
-        s.push_str(&format!("  \"effective_threads\": {effective_threads},\n"));
-        s.push_str(&format!("  \"total_ms\": {},\n", json_num_ms(total_ms)));
-        s.push_str("  \"stages\": [\n");
-        for (i, stage) in self.stages.iter().enumerate() {
-            let sep = if i + 1 == self.stages.len() { "" } else { "," };
-            s.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"ms\": {}, \"metrics\": {{",
-                stage.name,
-                json_num_ms(stage.ms)
-            ));
-            for (j, (metric, delta)) in stage.metrics.iter().enumerate() {
-                let msep = if j + 1 == stage.metrics.len() {
-                    ""
-                } else {
-                    ","
-                };
-                s.push_str(&format!(" \"{metric}\": {delta}{msep}"));
+        use scap_obs::json::{f64_token_fixed, Arr, Obj};
+        let mut stages = Arr::new();
+        for stage in &self.stages {
+            let mut metrics = Obj::new();
+            for &(metric, delta) in &stage.metrics {
+                metrics.u64(metric, delta);
             }
-            s.push_str(&format!(" }} }}{sep}\n"));
+            let mut o = Obj::new();
+            o.str("name", stage.name)
+                .raw("ms", &f64_token_fixed(stage.ms, 3))
+                .raw("metrics", &metrics.finish());
+            stages.raw(&o.finish());
         }
-        s.push_str("  ],\n");
-        s.push_str("  \"totals\": {\n");
-        let ints = totals
-            .counters
-            .iter()
-            .chain(&totals.gauges)
-            .map(|&(n, v)| format!("    \"{n}\": {v}"));
-        let floats = totals
-            .float_gauges
-            .iter()
-            .map(|&(n, v)| format!("    \"{n}\": {}", json_num(v)));
-        let entries: Vec<String> = ints.chain(floats).collect();
-        s.push_str(&entries.join(",\n"));
-        s.push_str("\n  }\n}\n");
-        s
-    }
-}
-
-/// Formats a float as a strict-JSON number; non-finite values (which JSON
-/// cannot represent) become `null` instead of the `NaN`/`inf` tokens
-/// Rust's `Display` would emit.
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// [`json_num`] at millisecond precision.
-fn json_num_ms(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_owned()
+        let mut tot = Obj::new();
+        for &(n, v) in totals.counters.iter().chain(&totals.gauges) {
+            tot.u64(n, v);
+        }
+        for &(n, v) in &totals.float_gauges {
+            tot.f64(n, v);
+        }
+        let mut root = Obj::new();
+        root.f64("scale", scale)
+            .u64("threads", threads as u64)
+            .u64("effective_threads", effective_threads)
+            .raw("total_ms", &f64_token_fixed(total_ms, 3))
+            .raw("stages", &stages.finish())
+            .raw("totals", &tot.finish());
+        scap_obs::json::pretty(&root.finish())
     }
 }
 

@@ -8,93 +8,39 @@
 //! scap profile  --scale 0.01 [--flow conventional]      per-pattern SCAP
 //! scap schedule --scale 0.01 --budget <mW>              session scheduling
 //! scap lint     --scale 0.01 [--format json] [--deny warn]   design-rule check
+//! scap serve    --addr 127.0.0.1:7878                   resident HTTP API
+//! scap evaluate                                         every table + figure
 //! ```
 //!
-//! Everything is regenerated deterministically from `--scale` (and the
-//! built-in seed), so commands compose without intermediate files.
+//! Everything is regenerated deterministically from `--scale`/`--seed`,
+//! so commands compose without intermediate files. Flag parsing lives in
+//! `scap_serve::params` — the same parser backs the server's query
+//! strings, so `--scale 0.02` here and `scale=0.02` on the wire behave
+//! identically. Parse errors return `ExitCode::from(2)` (destructors
+//! run; nothing calls `process::exit`).
 
 use scap::dft::FillPolicy;
 use scap::{ablation, compact_patterns, experiments, flows, schedule, CaseStudy};
+use scap_serve::params::Args;
 use std::process::ExitCode;
 
-struct Args {
-    positional: Vec<String>,
-    flags: Vec<(String, Option<String>)>,
-}
-
-impl Args {
-    fn parse(raw: impl Iterator<Item = String>) -> Self {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut raw = raw.peekable();
-        while let Some(a) = raw.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                let value = raw
-                    .peek()
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned()
-                    .inspect(|_| {
-                        raw.next();
-                    });
-                flags.push((name.to_owned(), value));
-            } else {
-                positional.push(a);
+/// Unwraps a flag-accessor `Result`, or prints the error and returns
+/// usage exit code 2 from the enclosing function.
+macro_rules! try_flag {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
             }
         }
-        Args { positional, flags }
-    }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
-
-    /// Parses `--threads` and installs it as the process-wide worker
-    /// count. Exits with a clean message on a malformed value.
-    fn install_threads(&self) {
-        let Some(raw) = self.get("threads") else {
-            return;
-        };
-        match raw.parse::<usize>() {
-            Ok(n) if n >= 1 => {
-                scap_exec::set_default_threads(n);
-            }
-            _ => {
-                eprintln!("error: --threads expects a positive integer, got '{raw}'");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    /// Parses and validates `--scale`, exiting with a clean message on a
-    /// malformed or out-of-range value.
-    fn scale(&self) -> f64 {
-        let Some(raw) = self.get("scale") else {
-            return 0.01;
-        };
-        match raw.parse::<f64>() {
-            Ok(s) if s > 0.0 && s <= 1.0 => s,
-            Ok(s) => {
-                eprintln!("error: --scale must be in (0, 1], got {s}");
-                std::process::exit(2);
-            }
-            Err(_) => {
-                eprintln!("error: --scale expects a number, got '{raw}'");
-                std::process::exit(2);
-            }
-        }
-    }
+    };
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scap <generate|atpg|profile|schedule|paths|lint|evaluate> [--scale S] [--threads N] [options]\n\
+        "usage: scap <generate|atpg|profile|schedule|paths|lint|serve|evaluate> [--scale S] [--seed N] [--threads N] [options]\n\
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
          \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact\
@@ -106,6 +52,9 @@ fn usage() -> ExitCode {
          \n             noise-aware flow's patterns and the supply meshes;\
          \n             --format text|json, --deny warn to fail on warnings\
          \n             exit 0 clean, 1 findings at or above the deny level, 2 usage\
+         \n  serve      resident HTTP JSON API (see docs/SERVER.md):\
+         \n             --addr HOST:PORT (default 127.0.0.1:7878; port 0 = ephemeral),\
+         \n             --workers N, --queue-depth N, --cache-capacity N, --deadline-ms MS\
          \n  evaluate   every table and figure of the paper (long)\
          \n\
          \n  --threads N  worker threads for the parallel hot loops; always wins\
@@ -116,7 +65,16 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
-    args.install_threads();
+    match args.threads() {
+        Ok(Some(n)) => {
+            scap_exec::set_default_threads(n);
+        }
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    }
     let Some(cmd) = args.positional.first().map(String::as_str) else {
         return usage();
     };
@@ -127,13 +85,20 @@ fn main() -> ExitCode {
         "schedule" => schedule_cmd(&args),
         "paths" => paths(&args),
         "lint" => lint(&args),
+        "serve" => serve(&args),
         "evaluate" => evaluate(&args),
         _ => usage(),
     }
 }
 
+/// Builds the case study from `--scale`/`--seed` (validated; never
+/// exits the process).
+fn build_study(args: &Args) -> Result<CaseStudy, String> {
+    Ok(CaseStudy::with_seed(args.scale()?, args.seed()?))
+}
+
 fn generate(args: &Args) -> ExitCode {
-    let study = CaseStudy::new(args.scale());
+    let study = try_flag!(build_study(args));
     let report = experiments::table1(&study);
     println!("{}", experiments::render_table1(&report));
     println!("{}", experiments::render_table2(&report));
@@ -170,7 +135,7 @@ fn pick_flow(args: &Args, study: &CaseStudy) -> flows::FlowResult {
 }
 
 fn atpg(args: &Args) -> ExitCode {
-    let study = CaseStudy::new(args.scale());
+    let study = try_flag!(build_study(args));
     let mut flow = pick_flow(args, &study);
     println!(
         "{} patterns, {:.2} % fault coverage",
@@ -208,7 +173,7 @@ fn profile(args: &Args) -> ExitCode {
     if args.has("metrics") {
         scap_obs::set_enabled(true);
     }
-    let study = CaseStudy::new(args.scale());
+    let study = try_flag!(build_study(args));
     let flow = pick_flow(args, &study);
     let Some(b5) = study.design.block_named("B5") else {
         eprintln!("error: the generated design has no block named 'B5' to profile");
@@ -234,7 +199,7 @@ fn profile(args: &Args) -> ExitCode {
 }
 
 fn schedule_cmd(args: &Args) -> ExitCode {
-    let study = CaseStudy::new(args.scale());
+    let study = try_flag!(build_study(args));
     let flow = pick_flow(args, &study);
     let tests = schedule::block_tests_from_flow(&study, &flow);
     let serial = schedule::serial_length(&tests);
@@ -266,14 +231,13 @@ fn schedule_cmd(args: &Args) -> ExitCode {
 }
 
 /// `scap lint` — runs the full design-rule registry against the generated
-/// design, the noise-aware flow's patterns and both supply meshes.
+/// design, the noise-aware flow's patterns and both supply meshes. The
+/// registry assembly itself lives in `scap_serve::lint_report`, shared
+/// with `POST /v1/lint`.
 ///
 /// Exit codes: 0 clean, 1 findings at or above the deny level (errors, or
 /// warnings too under `--deny warn`), 2 usage error.
 fn lint(args: &Args) -> ExitCode {
-    use scap::PatternAnalyzer;
-    use scap_lint::{LintContext, MeshKind, MeshSpec, QuietSpec, ScreenSpec};
-
     let json = match args.get("format") {
         None => false,
         Some("text") => false,
@@ -298,53 +262,10 @@ fn lint(args: &Args) -> ExitCode {
         false
     };
 
-    let study = CaseStudy::new(args.scale());
-    let flow = flows::noise_aware(&study);
-
-    // Screen declaration: the flow's output is SCAP-screened, so measure
-    // every pattern and declare the within-threshold ones as emitted; the
-    // PAT003 rule then re-checks the declaration against the measurements.
-    let thresholds = experiments::scap_thresholds(&study);
-    let profile = PatternAnalyzer::new(&study).power_profile(&flow.patterns);
-    let num_blocks = study.design.netlist.blocks().len();
-    let pattern_block_mw: Vec<Vec<f64>> = profile
-        .iter()
-        .map(|p| {
-            (0..num_blocks)
-                .map(|b| p.scap_vdd_mw(scap::netlist::BlockId::new(b as u32)))
-                .collect()
-        })
-        .collect();
-    let emitted: Vec<usize> = pattern_block_mw
-        .iter()
-        .enumerate()
-        .filter(|(_, row)| {
-            row.iter()
-                .zip(&thresholds)
-                .all(|(&mw, &t)| mw <= t * (1.0 + 1e-9))
-        })
-        .map(|(p, _)| p)
-        .collect();
-
-    let grid = scap::power::PowerGrid::new(study.design.floorplan.die, study.grid);
-    let ctx = LintContext::new(&study.design.netlist)
-        .with_timing(&study.annotation, &study.clock_tree)
-        .with_mesh(MeshSpec::from_grid(MeshKind::Vdd, &grid))
-        .with_mesh(MeshSpec::from_grid(MeshKind::Vss, &grid))
-        .with_patterns(&flow.patterns)
-        .with_quiet(QuietSpec::from_staged_flow(
-            &flows::paper_stages(&study),
-            &flow.steps,
-            flow.patterns.len(),
-        ))
-        .with_screen(ScreenSpec {
-            thresholds_mw: thresholds,
-            pattern_block_mw,
-            emitted,
-        });
-    let report = scap_lint::run_all(&ctx);
+    let study = try_flag!(build_study(args));
+    let report = scap_serve::lint_report(&study);
     if json {
-        println!("{}", report.render_json());
+        println!("{}", report.render_json_pretty());
     } else {
         print!("{}", report.render_text());
     }
@@ -355,8 +276,45 @@ fn lint(args: &Args) -> ExitCode {
     }
 }
 
+/// `scap serve` — boots the resident HTTP JSON API and blocks until a
+/// `POST /v1/shutdown` drains it; the final metrics snapshot is printed
+/// on the way out. See `docs/SERVER.md` for the endpoint reference.
+fn serve(args: &Args) -> ExitCode {
+    let cfg = scap_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        workers: try_flag!(args.usize_flag("workers", 2)),
+        queue_depth: try_flag!(args.usize_flag("queue-depth", 16)),
+        cache_capacity: try_flag!(args.usize_flag("cache-capacity", 4)),
+        default_deadline: std::time::Duration::from_millis(try_flag!(
+            args.usize_flag("deadline-ms", 60_000)
+        ) as u64),
+        debug_endpoints: args.has("debug-endpoints"),
+    };
+    let server = match scap_serve::Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The exact line check.sh and tooling parse for the (possibly
+    // ephemeral) port — keep the format stable.
+    println!("scap serve listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(snapshot) => {
+            println!("scap serve drained; final metrics:");
+            print!("{}", scap_obs::render(&snapshot));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn evaluate(args: &Args) -> ExitCode {
-    let study = CaseStudy::new(args.scale());
+    let study = try_flag!(build_study(args));
     let report = experiments::table1(&study);
     println!("{}", experiments::render_table1(&report));
     let t3 = experiments::table3(&study);
@@ -389,7 +347,7 @@ fn evaluate(args: &Args) -> ExitCode {
 
 fn paths(args: &Args) -> ExitCode {
     use scap::timing::Sta;
-    let study = CaseStudy::new(args.scale());
+    let study = try_flag!(build_study(args));
     let count = args
         .get("count")
         .and_then(|c| c.parse().ok())
@@ -419,37 +377,31 @@ fn paths(args: &Args) -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::Args;
+    use super::*;
+
+    // Full parser coverage (flag-before-flag, negative values, repeated
+    // flags, trailing positionals, query strings) lives with the parser
+    // in `scap_serve::params`; these spot-check the CLI wiring.
+
+    fn cli(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
 
     #[test]
-    fn parses_flags_and_positionals() {
-        let args = Args::parse(
-            ["atpg", "--scale", "0.02", "--compact", "--stil", "out.stil"]
-                .into_iter()
-                .map(String::from),
-        );
+    fn cli_tokens_parse_through_the_shared_parser() {
+        let args = cli(&["atpg", "--scale", "0.02", "--compact", "--stil", "out.stil"]);
         assert_eq!(args.positional, vec!["atpg"]);
-        assert_eq!(args.scale(), 0.02);
+        assert_eq!(args.scale().unwrap(), 0.02);
         assert!(args.has("compact"));
         assert_eq!(args.get("stil"), Some("out.stil"));
-        assert_eq!(args.get("missing"), None);
     }
 
     #[test]
-    fn flag_without_value_before_another_flag() {
-        let args = Args::parse(
-            ["profile", "--compact", "--scale", "0.5"]
-                .into_iter()
-                .map(String::from),
-        );
-        assert!(args.has("compact"));
-        assert_eq!(args.get("compact"), None);
-        assert_eq!(args.scale(), 0.5);
-    }
-
-    #[test]
-    fn default_scale_when_absent() {
-        let args = Args::parse(["generate"].into_iter().map(String::from));
-        assert_eq!(args.scale(), 0.01);
+    fn malformed_scale_is_a_recoverable_error() {
+        // The old parser exited the process here; now it surfaces a
+        // Result the subcommands turn into ExitCode::from(2).
+        assert!(cli(&["generate", "--scale", "2.0"]).scale().is_err());
+        assert!(cli(&["generate", "--scale", "x"]).scale().is_err());
+        assert!(cli(&["generate", "--threads", "0"]).threads().is_err());
     }
 }

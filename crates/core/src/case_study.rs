@@ -29,6 +29,28 @@ impl CaseStudy {
         Self::with_config(SocConfig::turbo_eagle(scale))
     }
 
+    /// Builds a case study at `scale` with an explicit generator seed
+    /// (the Turbo-Eagle preset otherwise). Different seeds yield
+    /// structurally different — but individually deterministic —
+    /// designs; the serving layer keys its design cache on
+    /// `(scale, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1.0` (validate first when the inputs
+    /// come from a request).
+    pub fn with_seed(scale: f64, seed: u64) -> Self {
+        let mut config = SocConfig::turbo_eagle(scale);
+        config.seed = seed;
+        Self::with_config(config)
+    }
+
+    /// The generator seed of the Turbo-Eagle preset (what
+    /// [`CaseStudy::new`] uses).
+    pub fn default_seed() -> u64 {
+        SocConfig::turbo_eagle(1.0).seed
+    }
+
     /// Builds a case study from an explicit SOC configuration.
     pub fn with_config(config: SocConfig) -> Self {
         let design = SocDesign::generate(&config);

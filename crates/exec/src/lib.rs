@@ -49,6 +49,10 @@
 //! (high-water marks), so load imbalance and the *actual* worker count —
 //! not the requested one — are visible in profiles.
 
+pub mod queue;
+
+pub use queue::{BoundedQueue, PushError};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide default worker count; 0 means "not installed".

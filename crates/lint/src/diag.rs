@@ -192,76 +192,52 @@ impl LintReport {
         out
     }
 
-    /// Renders the machine-readable report. Schema:
+    /// Renders the machine-readable report as one compact JSON object
+    /// (the escaping and builders live in [`scap_obs::json`]). Schema:
     ///
     /// ```json
-    /// {
-    ///   "summary": {"errors": 0, "warnings": 0, "info": 0, "rules_run": 19},
-    ///   "findings": [
-    ///     {"rule": "NET001", "severity": "error", "span": "net n12",
-    ///      "message": "..."}
-    ///   ],
-    ///   "rules": [{"rule": "NET001", "findings": 0, "micros": 12}]
-    /// }
+    /// {"summary": {"errors": 0, "warnings": 0, "info": 0, "rules_run": 19},
+    ///  "findings": [{"rule": "NET001", "severity": "error",
+    ///                "span": "net n12", "message": "..."}],
+    ///  "rules": [{"rule": "NET001", "findings": 0, "micros": 12}]}
     /// ```
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"summary\": {");
-        out.push_str(&format!(
-            "\"errors\": {}, \"warnings\": {}, \"info\": {}, \"rules_run\": {}",
-            self.errors(),
-            self.warnings(),
-            self.count(Severity::Info),
-            self.rules.len()
-        ));
-        out.push_str("},\n  \"findings\": [");
-        for (i, f) in self.findings.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"span\": \"{}\", \"message\": \"{}\"}}",
-                f.rule,
-                f.severity,
-                json_escape(&f.span.to_string()),
-                json_escape(&f.message)
-            ));
+        use scap_obs::json::{Arr, Obj};
+        let mut summary = Obj::new();
+        summary
+            .u64("errors", self.errors() as u64)
+            .u64("warnings", self.warnings() as u64)
+            .u64("info", self.count(Severity::Info) as u64)
+            .u64("rules_run", self.rules.len() as u64);
+        let mut findings = Arr::new();
+        for f in &self.findings {
+            let mut o = Obj::new();
+            o.str("rule", f.rule)
+                .str("severity", f.severity.label())
+                .str("span", &f.span.to_string())
+                .str("message", &f.message);
+            findings.raw(&o.finish());
         }
-        if !self.findings.is_empty() {
-            out.push_str("\n  ");
+        let mut rules = Arr::new();
+        for r in &self.rules {
+            let mut o = Obj::new();
+            o.str("rule", r.rule)
+                .u64("findings", r.findings as u64)
+                .u64("micros", r.micros);
+            rules.raw(&o.finish());
         }
-        out.push_str("],\n  \"rules\": [");
-        for (i, r) in self.rules.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\n    {{\"rule\": \"{}\", \"findings\": {}, \"micros\": {}}}",
-                r.rule, r.findings, r.micros
-            ));
-        }
-        if !self.rules.is_empty() {
-            out.push_str("\n  ");
-        }
-        out.push_str("]\n}\n");
-        out
+        let mut root = Obj::new();
+        root.raw("summary", &summary.finish())
+            .raw("findings", &findings.finish())
+            .raw("rules", &rules.finish());
+        root.finish()
     }
-}
 
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+    /// [`LintReport::render_json`] re-indented for human readers (the
+    /// CLI's `--format json` output).
+    pub fn render_json_pretty(&self) -> String {
+        scap_obs::json::pretty(&self.render_json())
     }
-    out
 }
 
 #[cfg(test)]
@@ -287,8 +263,18 @@ mod tests {
 
     #[test]
     fn json_escapes_quotes_and_control_chars() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        let f = Finding::new(
+            "NET001",
+            Severity::Error,
+            Span::Design,
+            "a\"b\\c\nd\u{1}".into(),
+        );
+        let report = LintReport {
+            findings: vec![f],
+            rules: vec![],
+        };
+        let json = report.render_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd\\u0001"), "{json}");
     }
 
     #[test]
@@ -296,7 +282,8 @@ mod tests {
         let r = LintReport::default();
         assert!(r.render_text().contains("0 error(s)"));
         let json = r.render_json();
-        assert!(json.contains("\"findings\": []"));
-        assert!(json.contains("\"rules\": []"));
+        assert!(json.contains("\"findings\":[]"));
+        assert!(json.contains("\"rules\":[]"));
+        assert!(r.render_json_pretty().ends_with("}\n"));
     }
 }

@@ -1,0 +1,343 @@
+//! Minimal strict-JSON writer shared across the workspace.
+//!
+//! Three call sites used to carry their own hand-rolled JSON emission —
+//! the lint report (`scap-lint`), the bench evaluation document
+//! (`BENCH_evaluation.json`) and the CLI — each with its own escaping
+//! and non-finite-float handling. This module is the single
+//! implementation: one escaper, one number formatter (non-finite `f64`
+//! becomes `null`, which strict JSON parsers accept and `NaN`/`inf`
+//! tokens are not), and push-style [`Obj`] / [`Arr`] builders that
+//! compose into arbitrarily nested documents.
+//!
+//! Builders emit *compact* JSON (no insignificant whitespace) — the
+//! right shape for HTTP bodies and line-oriented validation. Documents
+//! meant for humans or for committed artifacts go through [`pretty`],
+//! a whitespace-only re-indenter that never re-orders or re-parses
+//! values.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out`, escaped for the inside of a JSON string
+/// literal (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` escaped for the inside of a JSON string literal.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Formats `v` as a strict-JSON number token; non-finite values (which
+/// JSON cannot represent) become `null` instead of the `NaN`/`inf`
+/// tokens Rust's `Display` would emit.
+pub fn f64_token(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// [`f64_token`] rounded to `digits` decimal places (still `null` for
+/// non-finite values).
+pub fn f64_token_fixed(v: f64, digits: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.digits$}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Push-style builder for one JSON object. Emits compact output; run
+/// the result through [`pretty`] for a human-readable document.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (a nested object,
+    /// array, or literal).
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field; non-finite values become `null`.
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&f64_token(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Finishes the object and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Push-style builder for one JSON array (compact output).
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+    any: bool,
+}
+
+impl Arr {
+    /// An empty array builder.
+    pub fn new() -> Self {
+        Arr {
+            buf: String::from("["),
+            any: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+    }
+
+    /// Pushes a pre-rendered JSON value.
+    pub fn raw(&mut self, value: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Pushes a string value (escaped).
+    pub fn str(&mut self, value: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Pushes an unsigned integer value.
+    pub fn u64(&mut self, value: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Pushes a float value; non-finite values become `null`.
+    pub fn f64(&mut self, value: f64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&f64_token(value));
+        self
+    }
+
+    /// Finishes the array and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+/// Re-indents a compact JSON document for human readers. Pure
+/// whitespace transformation: values, keys and their order are
+/// untouched, so `pretty(j)` parses to exactly what `j` parses to.
+pub fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth: usize = 0;
+    let mut in_string = false;
+    let mut escape_next = false;
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escape_next {
+                escape_next = false;
+            } else if c == '\\' {
+                escape_next = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(close);
+                    chars.next();
+                } else {
+                    depth += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth));
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c if c.is_whitespace() => {}
+            c => out.push(c),
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escaped("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escaped("\u{1}"), "\\u0001");
+        assert_eq!(escaped("tab\there"), "tab\\there");
+        assert_eq!(escaped("plain"), "plain");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64_token(1.5), "1.5");
+        assert_eq!(f64_token(f64::NAN), "null");
+        assert_eq!(f64_token(f64::INFINITY), "null");
+        assert_eq!(f64_token_fixed(1.23456, 3), "1.235");
+        assert_eq!(f64_token_fixed(f64::NEG_INFINITY, 3), "null");
+    }
+
+    #[test]
+    fn object_builder_composes_nested_documents() {
+        let mut inner = Arr::new();
+        inner.u64(1).str("two").f64(f64::NAN);
+        let mut obj = Obj::new();
+        obj.str("name", "a\"b")
+            .u64("count", 3)
+            .bool("ok", true)
+            .raw("items", &inner.finish());
+        assert_eq!(
+            obj.finish(),
+            r#"{"name":"a\"b","count":3,"ok":true,"items":[1,"two",null]}"#
+        );
+    }
+
+    #[test]
+    fn empty_builders_render_empty_containers() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+
+    #[test]
+    fn pretty_is_a_whitespace_only_transform() {
+        let compact = r#"{"a":[1,2],"b":{"c":"x,y {z}"},"d":[],"e":{}}"#;
+        let p = pretty(compact);
+        // Same document once whitespace outside strings is removed.
+        let mut stripped = String::new();
+        let mut in_string = false;
+        let mut escape_next = false;
+        for c in p.chars() {
+            if in_string {
+                stripped.push(c);
+                if escape_next {
+                    escape_next = false;
+                } else if c == '\\' {
+                    escape_next = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                    stripped.push(c);
+                }
+                c if c.is_whitespace() => {}
+                c => stripped.push(c),
+            }
+        }
+        assert_eq!(stripped, compact);
+        // Braces with content got indented.
+        assert!(p.contains("{\n"));
+        // Commas inside strings did not break lines.
+        assert!(p.contains("x,y {z}"));
+    }
+}

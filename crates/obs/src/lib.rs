@@ -48,6 +48,8 @@
 //! relaxed atomics, so values are exact under any interleaving (they are
 //! sums), while gauges hold the last/max write.
 
+pub mod json;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -539,6 +541,45 @@ pub fn render(snap: &Snapshot) -> String {
     out
 }
 
+/// Renders a snapshot as one compact JSON object (the body of the
+/// server's `GET /metrics`). Schema:
+///
+/// ```json
+/// {"counters": {"exec.items": 12},
+///  "gauges": {"exec.effective_threads": 3},
+///  "float_gauges": {"cg.residual": 1.2e-9},
+///  "spans": {"grade.round": {"count": 4, "total_ns": 1200}}}
+/// ```
+///
+/// Zero-valued metrics are included: the full instrumentation surface
+/// is part of the contract, not just what happened to fire.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut counters = json::Obj::new();
+    for &(name, v) in &snap.counters {
+        counters.u64(name, v);
+    }
+    let mut gauges = json::Obj::new();
+    for &(name, v) in &snap.gauges {
+        gauges.u64(name, v);
+    }
+    let mut float_gauges = json::Obj::new();
+    for &(name, v) in &snap.float_gauges {
+        float_gauges.f64(name, v);
+    }
+    let mut spans = json::Obj::new();
+    for &(name, s) in &snap.spans {
+        let mut span = json::Obj::new();
+        span.u64("count", s.count).u64("total_ns", s.total_ns);
+        spans.raw(name, &span.finish());
+    }
+    let mut root = json::Obj::new();
+    root.raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("float_gauges", &float_gauges.finish())
+        .raw("spans", &spans.finish());
+    root.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +670,29 @@ mod tests {
         // Snapshot is sorted by name.
         for w in after.counters.windows(2) {
             assert!(w[0].0 <= w[1].0);
+        }
+        set_enabled(false);
+    }
+
+    #[test]
+    fn render_json_covers_every_metric_kind() {
+        let _guard = enabled_lock();
+        set_enabled(true);
+        counter("test.json_counter").incr();
+        gauge("test.json_gauge").set(4);
+        float_gauge("test.json_float").set(0.5);
+        {
+            let _span = span!("test.json_span");
+        }
+        let text = render_json(&snapshot());
+        for needle in [
+            "\"counters\":{",
+            "\"test.json_counter\":",
+            "\"test.json_gauge\":4",
+            "\"test.json_float\":0.5",
+            "\"test.json_span\":{\"count\":",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
         }
         set_enabled(false);
     }

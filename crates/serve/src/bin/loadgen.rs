@@ -1,0 +1,75 @@
+//! `scap-loadgen` — burst a running `scap serve` instance and report
+//! the status-code distribution. Used by `scripts/check.sh` for the
+//! server smoke stage; handy interactively too:
+//!
+//! ```text
+//! scap-loadgen --addr 127.0.0.1:7878 --path /v1/design --query scale=0.004 \
+//!              --concurrency 8 --requests 2
+//! ```
+//!
+//! Exits 0 when every connection got an HTTP verdict (any status) and
+//! at least one exchange returned 200; exits 1 otherwise.
+
+use scap_serve::loadgen;
+use scap_serve::params::Args;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let addr_raw = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let addr: SocketAddr = match addr_raw.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("scap-loadgen: invalid --addr '{addr_raw}'");
+            return ExitCode::from(2);
+        }
+    };
+    let method = args.get("method").unwrap_or("GET");
+    let path = args.get("path").unwrap_or("/healthz");
+    let query = args.get("query").unwrap_or("");
+    let body = args.get("body").unwrap_or("");
+    let concurrency = match args.usize_flag("concurrency", 4) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("scap-loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let per_thread = match args.usize_flag("requests", 1) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("scap-loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let target = if query.is_empty() {
+        path.to_owned()
+    } else {
+        format!("{path}?{query}")
+    };
+    let report = loadgen::burst(addr, method, &target, body, concurrency, per_thread);
+
+    let total = report.statuses.len() + report.transport_errors;
+    println!(
+        "loadgen: {total} exchanges against {method} {target} ({concurrency} threads x {per_thread})"
+    );
+    let mut codes: Vec<u16> = report.statuses.clone();
+    codes.sort_unstable();
+    codes.dedup();
+    for code in codes {
+        println!("  {code}: {}", report.count(code));
+    }
+    if report.transport_errors > 0 {
+        println!("  transport errors: {}", report.transport_errors);
+    }
+
+    let ok = report.transport_errors == 0 && report.count(200) > 0;
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scap-loadgen: FAILED (errors or no 200s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,275 @@
+//! LRU design cache with single-flight build deduplication.
+//!
+//! Building a [`CaseStudy`] — generate the SOC, insert scan, extract
+//! timing, synthesize the clock tree, calibrate the grid — is by far
+//! the most expensive prefix of every endpoint. The cache keys built
+//! designs by `(scale, seed)` and holds them behind `Arc`s so requests
+//! share one immutable instance.
+//!
+//! **Single-flight:** when N requests miss on the same key at once,
+//! exactly one thread builds while the other N−1 block on a condvar and
+//! receive the same `Arc` — never N redundant builds saturating the
+//! machine. The `serve.design_builds` counter proves this property in
+//! the integration tests.
+
+use scap::CaseStudy;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Cache key: the exact bits of the scale plus the generator seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    scale_bits: u64,
+    seed: u64,
+}
+
+impl CacheKey {
+    /// Key for a `(scale, seed)` pair.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        CacheKey {
+            scale_bits: scale.to_bits(),
+            seed,
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Slot {
+    /// A build is in flight on some thread; wait on the condvar.
+    Building,
+    /// The design is resident.
+    Ready(Arc<CaseStudy>),
+}
+
+struct Entry {
+    key: CacheKey,
+    slot: Slot,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+/// The process-wide design cache (see the module docs).
+pub struct DesignCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    ready: Condvar,
+}
+
+impl std::fmt::Debug for DesignCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignCache")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl DesignCache {
+    /// A cache holding at most `capacity` built designs (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        DesignCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Number of resident (fully built) designs.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("design cache poisoned")
+            .entries
+            .iter()
+            .filter(|e| matches!(e.slot, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether no design is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the design for `(scale, seed)`, building it at most once
+    /// regardless of how many threads ask concurrently.
+    ///
+    /// `scale` must already be validated to `(0, 1]` — the underlying
+    /// generator panics outside that range.
+    pub fn get_or_build(&self, scale: f64, seed: u64) -> Arc<CaseStudy> {
+        let key = CacheKey::new(scale, seed);
+        let mut s = self.state.lock().expect("design cache poisoned");
+        while let Some(i) = s.entries.iter().position(|e| e.key == key) {
+            match s.entries[i].slot.clone() {
+                Slot::Ready(design) => {
+                    s.tick += 1;
+                    let tick = s.tick;
+                    s.entries[i].last_used = tick;
+                    scap_obs::counter!("serve.cache.hits").incr();
+                    return design;
+                }
+                Slot::Building => {
+                    scap_obs::counter!("serve.cache.waits").incr();
+                    s = self.ready.wait(s).expect("design cache poisoned");
+                }
+            }
+        }
+        // Miss: claim the build under the lock, run it outside.
+        scap_obs::counter!("serve.cache.misses").incr();
+        self.evict_if_full(&mut s);
+        s.tick += 1;
+        let tick = s.tick;
+        s.entries.push(Entry {
+            key,
+            slot: Slot::Building,
+            last_used: tick,
+        });
+        drop(s);
+
+        // If the build panics (it should not — scale is validated), the
+        // guard removes the Building entry and wakes waiters so they
+        // retry instead of hanging forever.
+        let mut guard = BuildGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let design = {
+            let _span = scap_obs::span!("serve.design_build");
+            scap_obs::counter!("serve.design_builds").incr();
+            Arc::new(CaseStudy::with_seed(scale, seed))
+        };
+        guard.armed = false;
+
+        let mut s = self.state.lock().expect("design cache poisoned");
+        if let Some(e) = s.entries.iter_mut().find(|e| e.key == key) {
+            e.slot = Slot::Ready(design.clone());
+        }
+        drop(s);
+        self.ready.notify_all();
+        design
+    }
+
+    /// Evicts the least-recently-used *ready* entry while at capacity.
+    /// In-flight builds are never evicted (their waiters hold no
+    /// reference yet).
+    fn evict_if_full(&self, s: &mut MutexGuard<'_, CacheState>) {
+        while s.entries.len() >= self.capacity {
+            let victim = s
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e.slot, Slot::Ready(_)))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    s.entries.remove(i);
+                    scap_obs::counter!("serve.cache.evictions").incr();
+                }
+                // Every entry is Building: allow a temporary overshoot
+                // (bounded by the job pool's worker count).
+                None => break,
+            }
+        }
+    }
+}
+
+struct BuildGuard<'a> {
+    cache: &'a DesignCache,
+    key: CacheKey,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut s = self.cache.state.lock().expect("design cache poisoned");
+        s.entries.retain(|e| e.key != self.key);
+        drop(s);
+        self.cache.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tiny scale: each build is well under a second.
+    const SCALE: f64 = 0.003;
+
+    /// Serializes the module's tests: the build counter is process-wide,
+    /// so concurrent cache tests would pollute each other's deltas.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let _guard = serial();
+        let cache = DesignCache::new(2);
+        let a = cache.get_or_build(SCALE, 1);
+        let b = cache.get_or_build(SCALE, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_designs() {
+        let _guard = serial();
+        let cache = DesignCache::new(4);
+        let a = cache.get_or_build(SCALE, 1);
+        let b = cache.get_or_build(SCALE, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_the_stalest_entry() {
+        let _guard = serial();
+        let cache = DesignCache::new(2);
+        let a = cache.get_or_build(SCALE, 1);
+        let _b = cache.get_or_build(SCALE, 2);
+        // Touch seed 1 so seed 2 is the LRU victim.
+        let a2 = cache.get_or_build(SCALE, 1);
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = cache.get_or_build(SCALE, 3);
+        assert_eq!(cache.len(), 2);
+        // Seed 1 must still be resident (same Arc), seed 2 evicted.
+        let a3 = cache.get_or_build(SCALE, 1);
+        assert!(Arc::ptr_eq(&a, &a3));
+    }
+
+    #[test]
+    fn concurrent_misses_build_once() {
+        let _guard = serial();
+        scap_obs::set_enabled(true);
+        let cache = Arc::new(DesignCache::new(2));
+        let seed = 0xC0FFEE; // unique to this test: counters are global
+        let before = scap_obs::snapshot()
+            .counter("serve.design_builds")
+            .unwrap_or(0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_build(SCALE, seed))
+            })
+            .collect();
+        let designs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for d in &designs[1..] {
+            assert!(Arc::ptr_eq(&designs[0], d));
+        }
+        let after = scap_obs::snapshot()
+            .counter("serve.design_builds")
+            .unwrap_or(0);
+        assert_eq!(after - before, 1, "single-flight must build exactly once");
+    }
+}

@@ -1,0 +1,480 @@
+//! Endpoint implementations: typed parameter structs (parsed and
+//! validated *before* a job is admitted to the pool) and the heavy
+//! bodies that run on pool workers.
+//!
+//! Every handler is a pure function of the cached design and its
+//! parameters, so identical requests produce byte-identical JSON no
+//! matter how they interleave — the property the load tests assert.
+
+use crate::cache::DesignCache;
+use crate::http::Response;
+use crate::params::Args;
+use scap::dft::FillPolicy;
+use scap::{experiments, flows, schedule, CaseStudy, PatternAnalyzer};
+use scap_obs::json::{Arr, Obj};
+
+/// Which ATPG flow a request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Random-fill conventional ATPG.
+    Conventional,
+    /// The paper's staged noise-aware flow.
+    NoiseAware,
+}
+
+impl FlowKind {
+    fn parse(raw: Option<&str>) -> Result<Self, String> {
+        match raw {
+            None | Some("noise-aware") => Ok(FlowKind::NoiseAware),
+            Some("conventional") => Ok(FlowKind::Conventional),
+            Some(other) => Err(format!(
+                "flow expects 'conventional' or 'noise-aware', got '{other}'"
+            )),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FlowKind::Conventional => "conventional",
+            FlowKind::NoiseAware => "noise-aware",
+        }
+    }
+}
+
+fn parse_fill(raw: Option<&str>) -> Result<Option<FillPolicy>, String> {
+    match raw {
+        None => Ok(None),
+        Some("random-fill") | Some("random") => Ok(Some(FillPolicy::Random)),
+        Some("fill-0") => Ok(Some(FillPolicy::Zero)),
+        Some("fill-1") => Ok(Some(FillPolicy::One)),
+        Some("fill-adjacent") => Ok(Some(FillPolicy::Adjacent)),
+        Some(other) => Err(format!(
+            "fill expects random-fill|fill-0|fill-1|fill-adjacent, got '{other}'"
+        )),
+    }
+}
+
+fn fill_label(fill: FillPolicy) -> &'static str {
+    match fill {
+        FillPolicy::Random => "random-fill",
+        FillPolicy::Zero => "fill-0",
+        FillPolicy::One => "fill-1",
+        FillPolicy::Adjacent => "fill-adjacent",
+    }
+}
+
+/// Parameters shared by every design-backed endpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CommonParams {
+    /// Design scale in `(0, 1]`.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CommonParams {
+    fn parse(args: &Args) -> Result<Self, String> {
+        Ok(CommonParams {
+            scale: args.scale()?,
+            seed: args.seed()?,
+        })
+    }
+}
+
+fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
+    let unknown = args.unknown_flags(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown parameter(s): {}", unknown.join(", ")))
+    }
+}
+
+/// Flags every pooled endpoint accepts on top of its own.
+const COMMON_KNOWN: &[&str] = &["scale", "seed", "deadline_ms"];
+
+fn with_common<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut known: Vec<&'a str> = COMMON_KNOWN.to_vec();
+    known.extend_from_slice(extra);
+    known
+}
+
+// ---------------------------------------------------------------------
+// GET /v1/design
+// ---------------------------------------------------------------------
+
+/// Parsed `/v1/design` request.
+#[derive(Clone, Copy, Debug)]
+pub struct DesignParams {
+    /// Shared scale/seed pair.
+    pub common: CommonParams,
+}
+
+impl DesignParams {
+    /// Validates a request's parameters.
+    pub fn parse(args: &Args) -> Result<Self, String> {
+        reject_unknown(args, &with_common(&[]))?;
+        Ok(DesignParams {
+            common: CommonParams::parse(args)?,
+        })
+    }
+}
+
+/// Tables 1–2 of the cached design as JSON.
+pub fn design(cache: &DesignCache, p: &DesignParams) -> Response {
+    let study = cache.get_or_build(p.common.scale, p.common.seed);
+    let report = experiments::table1(&study);
+    let mut domains = Arr::new();
+    for row in &report.domains {
+        let mut blocks = Arr::new();
+        for b in &row.blocks_covered {
+            blocks.str(b);
+        }
+        let mut o = Obj::new();
+        o.str("name", &row.name)
+            .u64("scan_cells", row.scan_cells as u64)
+            .f64("frequency_mhz", row.frequency_mhz)
+            .raw("blocks_covered", &blocks.finish());
+        domains.raw(&o.finish());
+    }
+    let mut design = Obj::new();
+    design
+        .u64("clock_domains", report.clock_domains as u64)
+        .u64("scan_chains", report.scan_chains as u64)
+        .u64("total_scan_flops", report.total_scan_flops as u64)
+        .u64("negative_edge_flops", report.negative_edge_flops as u64)
+        .u64("transition_faults", report.transition_faults as u64)
+        .u64("collapsed_faults", report.collapsed_faults as u64)
+        .u64("gates", report.gates as u64)
+        .raw("domains", &domains.finish());
+    let mut root = Obj::new();
+    root.f64("scale", p.common.scale)
+        .u64("seed", p.common.seed)
+        .raw("design", &design.finish());
+    Response::json(200, root.finish())
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/lint
+// ---------------------------------------------------------------------
+
+/// Parsed `/v1/lint` request.
+#[derive(Clone, Copy, Debug)]
+pub struct LintParams {
+    /// Shared scale/seed pair.
+    pub common: CommonParams,
+}
+
+impl LintParams {
+    /// Validates a request's parameters.
+    pub fn parse(args: &Args) -> Result<Self, String> {
+        reject_unknown(args, &with_common(&[]))?;
+        Ok(LintParams {
+            common: CommonParams::parse(args)?,
+        })
+    }
+}
+
+/// Runs the full design-rule registry against a study: the generated
+/// design, the noise-aware flow's patterns and both supply meshes.
+/// Shared by the `scap lint` subcommand and `POST /v1/lint`.
+pub fn lint_report(study: &CaseStudy) -> scap_lint::LintReport {
+    use scap_lint::{LintContext, MeshKind, MeshSpec, QuietSpec, ScreenSpec};
+
+    let flow = flows::noise_aware(study);
+
+    // Screen declaration: the flow's output is SCAP-screened, so measure
+    // every pattern and declare the within-threshold ones as emitted; the
+    // PAT003 rule then re-checks the declaration against the measurements.
+    let thresholds = experiments::scap_thresholds(study);
+    let profile = PatternAnalyzer::new(study).power_profile(&flow.patterns);
+    let num_blocks = study.design.netlist.blocks().len();
+    let pattern_block_mw: Vec<Vec<f64>> = profile
+        .iter()
+        .map(|p| {
+            (0..num_blocks)
+                .map(|b| p.scap_vdd_mw(scap_netlist::BlockId::new(b as u32)))
+                .collect()
+        })
+        .collect();
+    let emitted: Vec<usize> = pattern_block_mw
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| {
+            row.iter()
+                .zip(&thresholds)
+                .all(|(&mw, &t)| mw <= t * (1.0 + 1e-9))
+        })
+        .map(|(p, _)| p)
+        .collect();
+
+    let grid = scap::power::PowerGrid::new(study.design.floorplan.die, study.grid);
+    let ctx = LintContext::new(&study.design.netlist)
+        .with_timing(&study.annotation, &study.clock_tree)
+        .with_mesh(MeshSpec::from_grid(MeshKind::Vdd, &grid))
+        .with_mesh(MeshSpec::from_grid(MeshKind::Vss, &grid))
+        .with_patterns(&flow.patterns)
+        .with_quiet(QuietSpec::from_staged_flow(
+            &flows::paper_stages(study),
+            &flow.steps,
+            flow.patterns.len(),
+        ))
+        .with_screen(ScreenSpec {
+            thresholds_mw: thresholds,
+            pattern_block_mw,
+            emitted,
+        });
+    scap_lint::run_all(&ctx)
+}
+
+/// Design-rule check of the cached design as JSON.
+pub fn lint(cache: &DesignCache, p: &LintParams) -> Response {
+    let study = cache.get_or_build(p.common.scale, p.common.seed);
+    let report = lint_report(&study);
+    let mut root = Obj::new();
+    root.f64("scale", p.common.scale)
+        .u64("seed", p.common.seed)
+        .raw("lint", &report.render_json());
+    Response::json(200, root.finish())
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/profile
+// ---------------------------------------------------------------------
+
+/// Parsed `/v1/profile` request.
+#[derive(Clone, Debug)]
+pub struct ProfileParams {
+    /// Shared scale/seed pair.
+    pub common: CommonParams,
+    /// Which flow to profile.
+    pub flow: FlowKind,
+    /// Fill policy override (the flow's default otherwise).
+    pub fill: Option<FillPolicy>,
+    /// Block to profile (the paper's hot block B5 by default).
+    pub block: String,
+}
+
+impl ProfileParams {
+    /// Validates a request's parameters.
+    pub fn parse(args: &Args) -> Result<Self, String> {
+        reject_unknown(args, &with_common(&["flow", "fill", "block"]))?;
+        Ok(ProfileParams {
+            common: CommonParams::parse(args)?,
+            flow: FlowKind::parse(args.get("flow"))?,
+            fill: parse_fill(args.get("fill"))?,
+            block: args.get("block").unwrap_or("B5").to_owned(),
+        })
+    }
+}
+
+fn run_flow(study: &CaseStudy, kind: FlowKind, fill: Option<FillPolicy>) -> flows::FlowResult {
+    match kind {
+        FlowKind::Conventional => flows::conventional_with(
+            study,
+            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Random)),
+        ),
+        FlowKind::NoiseAware => flows::noise_aware_with(
+            study,
+            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Zero)),
+            &flows::paper_stages(study),
+        ),
+    }
+}
+
+fn effective_fill(kind: FlowKind, fill: Option<FillPolicy>) -> FillPolicy {
+    fill.unwrap_or(match kind {
+        FlowKind::Conventional => FillPolicy::Random,
+        FlowKind::NoiseAware => FillPolicy::Zero,
+    })
+}
+
+/// Per-pattern SCAP of one block vs its screening threshold, with a
+/// screen verdict per pattern.
+pub fn profile(cache: &DesignCache, p: &ProfileParams) -> Response {
+    let study = cache.get_or_build(p.common.scale, p.common.seed);
+    let Some(block) = study.design.block_named(&p.block) else {
+        return Response::error(400, &format!("no block named '{}'", p.block));
+    };
+    let Some(&threshold) = experiments::scap_thresholds(&study).get(block.index()) else {
+        return Response::error(500, &format!("no screening threshold for '{}'", p.block));
+    };
+    let flow = run_flow(&study, p.flow, p.fill);
+    let series = experiments::scap_series(&study, &flow, block, threshold);
+    let mut patterns = Arr::new();
+    for (i, &mw) in series.scap_mw.iter().enumerate() {
+        let mut o = Obj::new();
+        o.u64("pattern", i as u64)
+            .f64("scap_mw", mw)
+            .bool("above", mw > threshold);
+        patterns.raw(&o.finish());
+    }
+    let mut root = Obj::new();
+    root.f64("scale", p.common.scale)
+        .u64("seed", p.common.seed)
+        .str("flow", p.flow.label())
+        .str("fill", fill_label(effective_fill(p.flow, p.fill)))
+        .str("block", &p.block)
+        .f64("threshold_mw", threshold)
+        .u64("patterns", series.scap_mw.len() as u64)
+        .u64("above", series.above.len() as u64)
+        .f64("fraction_above", series.fraction_above())
+        .f64("fault_coverage", flow.fault_coverage())
+        .raw("series", &patterns.finish());
+    Response::json(200, root.finish())
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/schedule
+// ---------------------------------------------------------------------
+
+/// Parsed `/v1/schedule` request.
+#[derive(Clone, Debug)]
+pub struct ScheduleParams {
+    /// Shared scale/seed pair.
+    pub common: CommonParams,
+    /// Which flow supplies the per-block tests.
+    pub flow: FlowKind,
+    /// Fill policy override.
+    pub fill: Option<FillPolicy>,
+    /// Session power budget, mW (2× the hottest block when absent —
+    /// the CLI's default).
+    pub budget_mw: Option<f64>,
+}
+
+impl ScheduleParams {
+    /// Validates a request's parameters.
+    pub fn parse(args: &Args) -> Result<Self, String> {
+        reject_unknown(args, &with_common(&["flow", "fill", "budget"]))?;
+        let budget_mw = args.f64_flag("budget")?;
+        if let Some(b) = budget_mw {
+            if b <= 0.0 {
+                return Err(format!("budget expects a positive power in mW, got {b}"));
+            }
+        }
+        Ok(ScheduleParams {
+            common: CommonParams::parse(args)?,
+            flow: FlowKind::parse(args.get("flow"))?,
+            fill: parse_fill(args.get("fill"))?,
+            budget_mw,
+        })
+    }
+}
+
+/// Power-constrained session scheduling of the flow's per-block tests.
+pub fn schedule(cache: &DesignCache, p: &ScheduleParams) -> Response {
+    let study = cache.get_or_build(p.common.scale, p.common.seed);
+    let flow = run_flow(&study, p.flow, p.fill);
+    let tests = schedule::block_tests_from_flow(&study, &flow);
+    let serial = schedule::serial_length(&tests);
+    let budget = p
+        .budget_mw
+        .unwrap_or_else(|| 2.0 * tests.iter().map(|t| t.power_mw).fold(0.0, f64::max));
+    let plan = schedule::schedule(&tests, budget);
+    let mut sessions = Arr::new();
+    for s in &plan.sessions {
+        let mut members = Arr::new();
+        for m in &s.members {
+            let mut o = Obj::new();
+            o.str("block", &study.design.netlist.block(m.block).name)
+                .u64("patterns", m.patterns as u64)
+                .f64("power_mw", m.power_mw);
+            members.raw(&o.finish());
+        }
+        let mut o = Obj::new();
+        o.raw("members", &members.finish())
+            .f64("power_mw", s.power_mw())
+            .u64("length", s.length() as u64);
+        sessions.raw(&o.finish());
+    }
+    let mut root = Obj::new();
+    root.f64("scale", p.common.scale)
+        .u64("seed", p.common.seed)
+        .str("flow", p.flow.label())
+        .f64("budget_mw", budget)
+        .u64("serial_length", serial as u64)
+        .u64("scheduled_length", plan.total_length() as u64)
+        .f64("peak_power_mw", plan.peak_power_mw())
+        .raw("sessions", &sessions.finish());
+    Response::json(200, root.finish())
+}
+
+// ---------------------------------------------------------------------
+// GET /v1/sleep (debug builds of the server only)
+// ---------------------------------------------------------------------
+
+/// Parsed `/v1/sleep` request (test-only endpoint).
+#[derive(Clone, Copy, Debug)]
+pub struct SleepParams {
+    /// How long the pooled job sleeps.
+    pub ms: u64,
+}
+
+impl SleepParams {
+    /// Validates a request's parameters.
+    pub fn parse(args: &Args) -> Result<Self, String> {
+        reject_unknown(args, &["ms", "deadline_ms"])?;
+        let raw = args.get("ms").unwrap_or("100");
+        let ms = raw
+            .parse::<u64>()
+            .map_err(|_| format!("ms expects a non-negative integer, got '{raw}'"))?;
+        if ms > 60_000 {
+            return Err(format!("ms is capped at 60000, got {ms}"));
+        }
+        Ok(SleepParams { ms })
+    }
+}
+
+/// Sleeps on a pool worker — a deterministic way for tests to saturate
+/// the queue and exercise deadlines.
+pub fn sleep(p: &SleepParams) -> Response {
+    std::thread::sleep(std::time::Duration::from_millis(p.ms));
+    let mut root = Obj::new();
+    root.u64("slept_ms", p.ms);
+    Response::json(200, root.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_and_fill_parse_strictly() {
+        assert_eq!(FlowKind::parse(None).unwrap(), FlowKind::NoiseAware);
+        assert_eq!(
+            FlowKind::parse(Some("conventional")).unwrap(),
+            FlowKind::Conventional
+        );
+        assert!(FlowKind::parse(Some("fast")).is_err());
+        assert_eq!(parse_fill(Some("fill-1")).unwrap(), Some(FillPolicy::One));
+        assert!(parse_fill(Some("ones")).is_err());
+    }
+
+    #[test]
+    fn unknown_parameters_are_rejected() {
+        let args = Args::from_query("scale=0.01&sacle=0.02");
+        assert!(DesignParams::parse(&args).is_err());
+        let args = Args::from_query("scale=0.01&seed=5&deadline_ms=100");
+        assert!(DesignParams::parse(&args).is_ok());
+    }
+
+    #[test]
+    fn schedule_budget_must_be_positive() {
+        let args = Args::from_query("budget=-2");
+        assert!(ScheduleParams::parse(&args).is_err());
+        let args = Args::from_query("budget=1.5&flow=conventional&fill=random-fill");
+        let p = ScheduleParams::parse(&args).unwrap();
+        assert_eq!(p.budget_mw, Some(1.5));
+        assert_eq!(p.flow, FlowKind::Conventional);
+    }
+
+    #[test]
+    fn sleep_params_are_bounded() {
+        assert_eq!(
+            SleepParams::parse(&Args::from_query("ms=250")).unwrap().ms,
+            250
+        );
+        assert!(SleepParams::parse(&Args::from_query("ms=90000")).is_err());
+        assert!(SleepParams::parse(&Args::from_query("ms=abc")).is_err());
+    }
+}

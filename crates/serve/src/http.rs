@@ -1,0 +1,244 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just the slice the JSON
+//! API needs: request-line + headers + `Content-Length` bodies in, and
+//! `Connection: close` responses out. No keep-alive, no chunked
+//! encoding, no TLS; every connection carries exactly one exchange.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, percent-encoded as received.
+    pub path: String,
+    /// Query component (after `?`), without the `?`; empty if absent.
+    pub query: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (UTF-8 enforced by the parameter layer when used).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header of this lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an empty string if invalid/absent.
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+/// Why a request could not be read. Each maps to one status code.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Socket-level failure or timeout.
+    Io(std::io::Error),
+    /// Malformed framing → `400`.
+    BadRequest(&'static str),
+    /// Head or body over the fixed limits → `413`.
+    TooLarge(&'static str),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`. Returns `Ok(None)` when the peer
+/// closed without sending anything (e.g. the shutdown waker or a port
+/// probe) — not an error, just nothing to answer.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ReadError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+
+    let n = read_head_line(&mut reader, &mut line, &mut head_bytes)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let request_line = line.trim_end();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v),
+        _ => return Err(ReadError::BadRequest("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = read_head_line(&mut reader, &mut line, &mut head_bytes)?;
+        if n == 0 {
+            return Err(ReadError::BadRequest("connection closed mid-headers"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ReadError::BadRequest("malformed header"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::BadRequest("malformed Content-Length"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge("request body over limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+fn read_head_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<usize, ReadError> {
+    let n = reader.read_line(line)?;
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(ReadError::TooLarge("request head over limit"));
+    }
+    Ok(n)
+}
+
+/// One response, always `Connection: close`.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the standard set.
+    pub headers: Vec<(&'static str, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "…"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut obj = scap_obs::json::Obj::new();
+        obj.str("error", message);
+        Response::json(status, obj.finish())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes the response onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_serializes_with_framing_headers() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}")
+            .with_header("retry-after", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 3\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+
+    #[test]
+    fn error_bodies_are_json_envelopes() {
+        let r = Response::error(503, "queue full");
+        assert_eq!(r.status, 503);
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            "{\"error\":\"queue full\"}\n"
+        );
+    }
+
+    #[test]
+    fn status_text_covers_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
+            assert_ne!(status_text(code), "Unknown");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Tiny std-only HTTP client + load generator.
+//!
+//! The integration tests (and the `scap-loadgen` binary wired into
+//! `scripts/check.sh`) exercise the server with this client rather than
+//! an external tool: the build environment is offline, so `curl`-shaped
+//! dependencies are out. It speaks exactly the dialect the server
+//! emits — one exchange per connection, `Connection: close`,
+//! `Content-Length` bodies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response from the server.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header of this lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on invalid UTF-8 — server bodies are
+    /// always JSON text).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("server bodies are UTF-8")
+    }
+}
+
+/// `GET path` against `addr`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, "")
+}
+
+/// `POST path` with a `k=v&k2=v2` form body against `addr`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, body)
+}
+
+/// One full HTTP exchange: connect, send, read to EOF, parse.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_ascii_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Some(ClientResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// Outcome of one [`burst`]: every response (in completion order) plus
+/// transport-level failures.
+#[derive(Debug, Default)]
+pub struct BurstReport {
+    /// Status code of every completed exchange.
+    pub statuses: Vec<u16>,
+    /// Bodies of the `200` responses.
+    pub ok_bodies: Vec<Vec<u8>>,
+    /// Connections that failed at the transport level.
+    pub transport_errors: usize,
+}
+
+impl BurstReport {
+    /// How many exchanges returned this status.
+    pub fn count(&self, status: u16) -> usize {
+        self.statuses.iter().filter(|&&s| s == status).count()
+    }
+}
+
+/// Fires `concurrency` threads, each performing `per_thread` sequential
+/// exchanges of `method path body`, and aggregates the outcomes. Every
+/// connection gets *some* verdict: a status or a transport error —
+/// nothing is silently lost.
+pub fn burst(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    concurrency: usize,
+    per_thread: usize,
+) -> BurstReport {
+    let handles: Vec<_> = (0..concurrency.max(1))
+        .map(|_| {
+            let (method, path, body) = (method.to_owned(), path.to_owned(), body.to_owned());
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for _ in 0..per_thread.max(1) {
+                    outcomes.push(request(addr, &method, &path, &body));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let mut report = BurstReport::default();
+    for h in handles {
+        for outcome in h.join().expect("loadgen thread panicked") {
+            match outcome {
+                Ok(resp) => {
+                    if resp.status == 200 {
+                        report.ok_bodies.push(resp.body.clone());
+                    }
+                    report.statuses.push(resp.status);
+                }
+                Err(_) => report.transport_errors += 1,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_well_formed_response() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nretry-after: 1\r\ncontent-length: 3\r\n\r\n{}\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.text(), "{}\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_none());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_none());
+    }
+}

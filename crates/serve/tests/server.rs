@@ -1,0 +1,285 @@
+//! End-to-end tests of the serving layer: a real listener on an
+//! ephemeral port, the std-only loadgen client on the other side.
+//!
+//! The obs registry is process-global, so every test that asserts on
+//! counters (or flips collection) takes the `serial()` lock — tests
+//! within this binary run one at a time. Scales stay tiny (0.003–0.005):
+//! the CI machine usually has a single CPU.
+
+use scap_serve::loadgen;
+use scap_serve::{ServeConfig, Server, ShutdownHandle};
+use std::net::SocketAddr;
+use std::sync::{Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const SCALE: &str = "0.003";
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Boots a server on an ephemeral port; returns its address, a shutdown
+/// handle, and the join handle yielding the final metrics snapshot.
+fn boot(cfg: ServeConfig) -> (SocketAddr, ShutdownHandle, JoinHandle<scap_obs::Snapshot>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..cfg
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, shutdown, join)
+}
+
+fn stop(shutdown: &ShutdownHandle, join: JoinHandle<scap_obs::Snapshot>) -> scap_obs::Snapshot {
+    shutdown.signal();
+    join.join().expect("server thread panicked")
+}
+
+#[test]
+fn concurrent_identical_requests_build_once_and_agree_byte_for_byte() {
+    let _guard = serial();
+    let (addr, shutdown, join) = boot(ServeConfig {
+        workers: 4,
+        queue_depth: 16,
+        ..ServeConfig::default()
+    });
+
+    // A seed unique to this test so the cache is cold and the
+    // design-build counter delta is attributable.
+    let before = scap_obs::snapshot();
+    let query = format!("scale={SCALE}&seed=424242");
+    let report = loadgen::burst(addr, "GET", &format!("/v1/design?{query}"), "", 4, 2);
+
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.count(200), 8, "statuses: {:?}", report.statuses);
+    // Identical requests must agree byte-for-byte (the handler is a pure
+    // function of the cached design).
+    for body in &report.ok_bodies[1..] {
+        assert_eq!(body, &report.ok_bodies[0]);
+    }
+
+    let after = scap_obs::snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert_eq!(
+        delta("serve.design_builds"),
+        1,
+        "single-flight: 8 cold requests, exactly 1 build"
+    );
+    assert_eq!(delta("serve.cache.misses"), 1);
+    assert_eq!(
+        delta("serve.cache.hits") + delta("serve.cache.waits"),
+        7,
+        "the other 7 requests hit the cache or waited on the in-flight build"
+    );
+
+    stop(&shutdown, join);
+}
+
+#[test]
+fn saturated_queue_sheds_load_while_healthz_stays_responsive() {
+    let _guard = serial();
+    let (addr, shutdown, join) = boot(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    });
+
+    // The server runs in-process, so the test sequences admissions via
+    // the shared obs counters — no sleep-and-hope races. First sleeper
+    // occupies the single worker…
+    let before = scap_obs::snapshot();
+    let started = |snap: &scap_obs::Snapshot| {
+        snap.counter("serve.jobs.started").unwrap_or(0)
+            - before.counter("serve.jobs.started").unwrap_or(0)
+    };
+    let submitted = |snap: &scap_obs::Snapshot| {
+        snap.counter("serve.jobs.submitted").unwrap_or(0)
+            - before.counter("serve.jobs.submitted").unwrap_or(0)
+    };
+    let await_counts = |want_started: u64, want_submitted: u64, what: &str| {
+        let t = Instant::now();
+        loop {
+            let snap = scap_obs::snapshot();
+            if started(&snap) >= want_started && submitted(&snap) >= want_submitted {
+                break;
+            }
+            assert!(t.elapsed() < Duration::from_secs(10), "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    let mut sleepers = Vec::new();
+    sleepers.push(std::thread::spawn(move || {
+        loadgen::get(addr, "/v1/sleep?ms=2500").unwrap()
+    }));
+    await_counts(1, 1, "first sleeper never started");
+    // …then a second fills the 1-deep queue.
+    sleepers.push(std::thread::spawn(move || {
+        loadgen::get(addr, "/v1/sleep?ms=10").unwrap()
+    }));
+    await_counts(1, 2, "second sleeper never queued");
+    let health = loadgen::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        health.text().contains("\"queue_depth\":1"),
+        "healthz: {}",
+        health.text()
+    );
+
+    // The pool is saturated: the next job is shed with 503 + Retry-After.
+    let shed = loadgen::get(addr, "/v1/sleep?ms=1").unwrap();
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(shed.text().contains("\"error\""));
+
+    // …while the cheap endpoints answer immediately on the connection
+    // thread.
+    let t = Instant::now();
+    let health = loadgen::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        t.elapsed() < Duration::from_millis(500),
+        "healthz must not queue behind the saturated pool"
+    );
+    let metrics = loadgen::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("\"serve.jobs.rejected\""));
+
+    for s in sleepers {
+        assert_eq!(s.join().unwrap().status, 200);
+    }
+    stop(&shutdown, join);
+}
+
+#[test]
+fn missed_deadline_answers_504_and_abandons_the_job() {
+    let _guard = serial();
+    let (addr, shutdown, join) = boot(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    });
+
+    let before = scap_obs::snapshot();
+    let late = loadgen::get(addr, "/v1/sleep?ms=1000&deadline_ms=50").unwrap();
+    assert_eq!(late.status, 504);
+    assert!(late.text().contains("deadline"));
+    let after = scap_obs::snapshot();
+    assert!(
+        after.counter("serve.jobs.timed_out").unwrap_or(0)
+            > before.counter("serve.jobs.timed_out").unwrap_or(0)
+    );
+
+    // The worker is still usable afterwards.
+    let ok = loadgen::get(addr, "/v1/sleep?ms=1").unwrap();
+    assert_eq!(ok.status, 200);
+    stop(&shutdown, join);
+}
+
+#[test]
+fn bad_requests_fail_fast_with_the_right_codes() {
+    let _guard = serial();
+    let (addr, shutdown, join) = boot(ServeConfig::default());
+
+    // Unknown endpoint.
+    assert_eq!(loadgen::get(addr, "/v1/nope").unwrap().status, 404);
+    // Debug endpoint hidden unless enabled.
+    assert_eq!(loadgen::get(addr, "/v1/sleep?ms=1").unwrap().status, 404);
+    // Wrong method.
+    let r = loadgen::post(addr, "/v1/design", "").unwrap();
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET"));
+    // Out-of-range scale.
+    let r = loadgen::get(addr, "/v1/design?scale=2.0").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("scale"));
+    // Typo'd parameter names are rejected, not silently defaulted.
+    let r = loadgen::get(addr, &format!("/v1/design?scale={SCALE}&sacle=0.1")).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("sacle"));
+    // Bad deadline.
+    let r = loadgen::get(addr, "/v1/design?deadline_ms=soon").unwrap();
+    assert_eq!(r.status, 400);
+
+    stop(&shutdown, join);
+}
+
+#[test]
+fn profile_schedule_and_lint_round_trip() {
+    let _guard = serial();
+    let (addr, shutdown, join) = boot(ServeConfig::default());
+    let common = format!("scale={SCALE}&seed=77");
+
+    let r = loadgen::post(addr, "/v1/profile", &format!("{common}&flow=conventional")).unwrap();
+    assert_eq!(r.status, 200, "body: {}", r.text());
+    for needle in [
+        "\"flow\":\"conventional\"",
+        "\"fill\":\"random-fill\"",
+        "\"block\":\"B5\"",
+        "\"threshold_mw\":",
+        "\"series\":[",
+    ] {
+        assert!(r.text().contains(needle), "missing {needle}");
+    }
+
+    // Query parameters override body parameters.
+    let r = loadgen::request(
+        addr,
+        "POST",
+        &format!("/v1/profile?flow=noise-aware&{common}"),
+        "flow=conventional",
+    )
+    .unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.text().contains("\"flow\":\"noise-aware\""));
+
+    let r = loadgen::post(addr, "/v1/profile", &format!("{common}&block=B99")).unwrap();
+    assert_eq!(r.status, 400);
+
+    let r = loadgen::post(addr, "/v1/schedule", &format!("{common}&budget=5.0")).unwrap();
+    assert_eq!(r.status, 200, "body: {}", r.text());
+    assert!(r.text().contains("\"budget_mw\":5"));
+    assert!(r.text().contains("\"sessions\":["));
+
+    let r = loadgen::post(addr, "/v1/lint", &common).unwrap();
+    assert_eq!(r.status, 200, "body: {}", r.text());
+    assert!(r.text().contains("\"lint\":{"));
+    assert!(r.text().contains("\"findings\":"));
+
+    stop(&shutdown, join);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_and_flushes_metrics() {
+    let _guard = serial();
+    let (addr, _shutdown, join) = boot(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    });
+
+    // Admit a slow job, then shut down via the API while it runs.
+    let slow = std::thread::spawn(move || loadgen::get(addr, "/v1/sleep?ms=700").unwrap());
+    std::thread::sleep(Duration::from_millis(100));
+    let r = loadgen::post(addr, "/v1/shutdown", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.text().contains("\"shutting_down\":true"));
+
+    // The in-flight job is drained, not dropped.
+    assert_eq!(slow.join().unwrap().status, 200);
+
+    // run() returns the final snapshot — the "flush" — and it reflects
+    // the traffic this test generated.
+    let snap = join.join().expect("server thread panicked");
+    assert!(snap.counter("serve.requests").unwrap_or(0) > 0);
+    assert!(snap.counter("serve.req.shutdown").unwrap_or(0) > 0);
+
+    // The listener is really closed: a fresh exchange must fail.
+    assert!(loadgen::get(addr, "/healthz").is_err());
+}

@@ -40,6 +40,39 @@ if [ "$fast" -eq 0 ]; then
     ./target/release/scap lint --scale 0.01 --format json --deny warn | python3 -m json.tool >/dev/null
     echo "lint clean at scales 0.005 and 0.01; JSON output parses."
 
+    echo "== scap serve smoke (ephemeral port, loadgen burst, clean drain) =="
+    cargo build --offline --release -q -p scap-serve
+    serve_log=$(mktemp)
+    ./target/release/scap serve --addr 127.0.0.1:0 --workers 2 --queue-depth 8 \
+        >"$serve_log" 2>&1 &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+    serve_addr=""
+    for _ in $(seq 1 100); do
+        serve_addr=$(sed -n 's#^scap serve listening on http://##p' "$serve_log")
+        [ -n "$serve_addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$serve_addr" ] || { echo "server never printed its address" >&2; cat "$serve_log" >&2; exit 1; }
+    ./target/release/scap-loadgen --addr "$serve_addr" --path /healthz --concurrency 4 --requests 2
+    ./target/release/scap-loadgen --addr "$serve_addr" --path /v1/design \
+        --query "scale=0.004" --concurrency 4 --requests 2
+    # Strict-JSON validation of both inline and pooled endpoint bodies.
+    python3 - "$serve_addr" <<'PY'
+import json, sys, urllib.request
+addr = sys.argv[1]
+for path in ("/healthz", "/metrics", "/v1/design?scale=0.004"):
+    with urllib.request.urlopen(f"http://{addr}{path}") as r:
+        json.loads(r.read())
+req = urllib.request.Request(f"http://{addr}/v1/shutdown", data=b"", method="POST")
+with urllib.request.urlopen(req) as r:
+    assert json.loads(r.read())["shutting_down"] is True
+PY
+    wait "$serve_pid"   # graceful drain must exit 0
+    trap - EXIT
+    rm -f "$serve_log"
+    echo "serve smoke passed: bursts answered, JSON strict, drained cleanly."
+
     echo "== BENCH_evaluation.json is strict JSON =="
     if [ -f BENCH_evaluation.json ]; then
         python3 -m json.tool BENCH_evaluation.json >/dev/null
