@@ -1,19 +1,29 @@
 //! The two-time-frame PODEM engine.
 //!
 //! Decision variables are the scan-load bits (pseudo-primary inputs) and
-//! the held primary inputs. After every decision the engine re-simulates
-//! both frames three-valued — frame 1 plain, frame 2 as a good/faulty
-//! plane pair with the fault site stuck at its pre-transition value — and
+//! the held primary inputs. After every decision the engine updates both
+//! frames three-valued — frame 1 plain, frame 2 as a good/faulty plane
+//! pair with the fault site stuck at its pre-transition value — and
 //! derives the next objective:
 //!
 //! 1. launch: frame-1 site value = initial value,
 //! 2. excitation: frame-2 good site value = final value,
 //! 3. propagation: drive a D-frontier gate's side inputs non-controlling
 //!    until the good/faulty difference reaches an observed capture flop.
+//!
+//! The planes live in a [`PodemScratch`] and are maintained
+//! *incrementally*: each decision changes one input bit (a backtrack, a
+//! handful), so instead of three full levelized passes the engine diffs
+//! the inputs against the cached planes and event-propagates only the
+//! affected fanout through a [`LevelQueue`]. The faulty plane is never
+//! simulated whole-netlist at all: outside the fault site's output cone
+//! it is identical to the good plane by construction, so it is kept as a
+//! cone overlay and rebuilt in one O(cone) topological sweep per
+//! decision.
 
 use scap_dft::TestPattern;
 use scap_netlist::{CellKind, ClockId, GateId, Logic, NetId, NetSource, Netlist};
-use scap_sim::{loc, FaultSite, Injection, LaunchMode, LogicSim, TransitionFault};
+use scap_sim::{loc, FaultSite, LaunchMode, LevelQueue, LogicSim, TransitionFault};
 
 /// Outcome of one PODEM run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,11 +52,112 @@ enum Var {
     Pi(u32),
 }
 
-#[derive(Debug)]
-struct SimState {
+/// Where a flop's frame-2 (launch) state comes from, precomputed per
+/// launch mode so the incremental resync never re-derives chain order.
+#[derive(Clone, Copy, Debug)]
+enum State2Src {
+    /// Launch-off-capture, active domain: captures frame 1's D value.
+    FromD(NetId),
+    /// Holds its own scan-load value (inactive domain / unstitched).
+    Hold,
+    /// Launch-off-shift: takes the upstream scan cell's load.
+    LoadOf(u32),
+    /// Launch-off-shift chain head: the constant scan-in (0).
+    ScanIn,
+}
+
+/// Reusable simulation state for [`Podem::generate_with_scratch`].
+///
+/// Holds the three value planes, the event queue and the fault-cone
+/// bookkeeping. A scratch is lazily (re)bound to an engine on first use;
+/// binding is keyed on the netlist identity plus clock domain and launch
+/// mode, so one scratch must not be shared between two *different live*
+/// netlists that happen to alias in memory. Reusing one scratch across
+/// all faults of a run amortises the full-netlist evaluations down to
+/// one per engine rebind.
+#[derive(Debug, Default)]
+pub struct PodemScratch {
+    /// Frame-1 net values for the currently synced pattern.
     frame1: Vec<Logic>,
+    /// Frame-2 good-machine net values.
     good2: Vec<Logic>,
+    /// Frame-2 faulty-machine values, valid only on cone-stamped nets;
+    /// everywhere else the faulty machine equals `good2`.
     faulty2: Vec<Logic>,
+    queue: LevelQueue,
+    /// Cone membership stamps (valid where == `cone_epoch`).
+    cone_net: Vec<u32>,
+    cone_gate: Vec<u32>,
+    cone_epoch: u32,
+    /// Cone gates in (level, id) topological order, for the faulty-plane
+    /// sweep.
+    cone_topo: Vec<u32>,
+    /// Cone gates in ascending id order, for the D-frontier scan (same
+    /// visit order as a whole-netlist scan restricted to the cone).
+    cone_by_id: Vec<u32>,
+    /// Observation points inside the cone.
+    cone_observed: Vec<NetId>,
+    /// The fault site the cone structures describe.
+    cone_site: Option<FaultSite>,
+    /// X-path visited stamps (valid where == `xepoch`).
+    xstamp: Vec<u32>,
+    xepoch: u32,
+    xstack: Vec<u32>,
+    work: Vec<u32>,
+    /// Identity of the engine the planes were built for.
+    owner: Option<(usize, usize, u32, LaunchMode)>,
+}
+
+impl PodemScratch {
+    /// An unbound scratch; sized and initialised on first use.
+    pub fn new() -> Self {
+        PodemScratch::default()
+    }
+}
+
+/// The faulty-plane value of net `i`: the overlay inside the cone, the
+/// good plane outside it (where the two machines provably agree).
+#[inline]
+fn fv(s: &PodemScratch, i: usize) -> Logic {
+    if s.cone_net[i] == s.cone_epoch {
+        s.faulty2[i]
+    } else {
+        s.good2[i]
+    }
+}
+
+/// Seeds the fanout gates of `net` into the event queue.
+#[inline]
+fn seed_fanout(netlist: &Netlist, gate_level: &[u32], queue: &mut LevelQueue, net: NetId) {
+    for &g in netlist.fanout_gates(net) {
+        queue.push(gate_level[g.index()], g.raw());
+    }
+}
+
+/// Drains the event queue against one value plane: re-evaluates each
+/// scheduled gate and schedules its fanout when the output changed.
+/// Levelized order guarantees each gate sees final input values, so the
+/// result equals a full levelized pass over the same inputs.
+fn drain_events(
+    netlist: &Netlist,
+    gate_level: &[u32],
+    queue: &mut LevelQueue,
+    plane: &mut [Logic],
+) {
+    let mut inbuf = [Logic::X; 4];
+    while let Some(gi) = queue.pop() {
+        let gate = netlist.gate(GateId::new(gi));
+        let n_in = gate.inputs.len();
+        for (k, &inp) in gate.inputs.iter().enumerate() {
+            inbuf[k] = plane[inp.index()];
+        }
+        let out = gate.kind.eval(&inbuf[..n_in]);
+        let o = gate.output.index();
+        if plane[o] != out {
+            plane[o] = out;
+            seed_fanout(netlist, gate_level, queue, gate.output);
+        }
+    }
 }
 
 /// The PODEM engine, reusable across faults.
@@ -62,10 +173,19 @@ pub struct Podem<'a> {
     /// Structural depth per net (level of driving gate + 1), backtrace
     /// heuristic.
     depth: Vec<u32>,
+    /// Level per gate, for event scheduling.
+    gate_level: Vec<u32>,
+    /// Number of distinct gate levels.
+    num_levels: u32,
     /// Observation points: D nets of active-domain flops.
     observed: Vec<NetId>,
     /// Same, as a per-net mask for the X-path check.
     observed_mask: Vec<bool>,
+    /// Per net: can it structurally reach an observation point? Faults
+    /// whose effect net cannot are untestable without any search.
+    observable: Vec<bool>,
+    /// Frame-2 state source per flop.
+    state2_src: Vec<State2Src>,
 }
 
 impl<'a> Podem<'a> {
@@ -85,8 +205,13 @@ impl<'a> Podem<'a> {
         let sim = LogicSim::new(netlist);
         let lv = sim.levelization();
         let mut depth = vec![0u32; netlist.num_nets()];
+        let mut gate_level = vec![0u32; netlist.num_gates()];
+        let mut num_levels = 0u32;
         for &g in lv.order() {
-            depth[netlist.gate(g).output.index()] = lv.level(g) + 1;
+            let l = lv.level(g);
+            depth[netlist.gate(g).output.index()] = l + 1;
+            gate_level[g.index()] = l;
+            num_levels = num_levels.max(l + 1);
         }
         let observed: Vec<NetId> = netlist
             .flops()
@@ -97,6 +222,21 @@ impl<'a> Podem<'a> {
         let mut observed_mask = vec![false; netlist.num_nets()];
         for n in &observed {
             observed_mask[n.index()] = true;
+        }
+        // Backward reachability from the observation points: a fault
+        // whose effect net is outside this set can never produce a
+        // good/faulty difference at a capture flop.
+        let mut observable = observed_mask.clone();
+        let mut work: Vec<u32> = observed.iter().map(|n| n.raw()).collect();
+        while let Some(ni) = work.pop() {
+            if let Some(NetSource::Gate(g)) = netlist.net(NetId::new(ni)).source {
+                for &inp in &netlist.gate(g).inputs {
+                    if !observable[inp.index()] {
+                        observable[inp.index()] = true;
+                        work.push(inp.raw());
+                    }
+                }
+            }
         }
         // Upstream map for launch-off-shift backtracing.
         let mut by_chain: std::collections::HashMap<u16, Vec<(u32, u32)>> =
@@ -116,6 +256,30 @@ impl<'a> Podem<'a> {
                 upstream[w[1].1 as usize] = Some(w[0].1);
             }
         }
+        let state2_src: Vec<State2Src> = netlist
+            .flops()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| match mode {
+                LaunchMode::Capture => {
+                    if f.clock == active_clock {
+                        State2Src::FromD(f.d)
+                    } else {
+                        State2Src::Hold
+                    }
+                }
+                LaunchMode::Shift => {
+                    if f.scan.is_some() {
+                        match upstream[i] {
+                            Some(up) => State2Src::LoadOf(up),
+                            None => State2Src::ScanIn,
+                        }
+                    } else {
+                        State2Src::Hold
+                    }
+                }
+            })
+            .collect();
         Podem {
             sim,
             active_clock,
@@ -123,8 +287,12 @@ impl<'a> Podem<'a> {
             backtrack_limit,
             upstream,
             depth,
+            gate_level,
+            num_levels,
             observed,
             observed_mask,
+            observable,
+            state2_src,
         }
     }
 
@@ -133,37 +301,264 @@ impl<'a> Podem<'a> {
         self.active_clock
     }
 
+    /// The net where the fault's effect appears (the net itself for a
+    /// stem fault, the reading gate's output for a branch fault).
+    fn effect_net(&self, fault: TransitionFault) -> usize {
+        match fault.site {
+            FaultSite::Net(n) => n.index(),
+            FaultSite::Pin { gate, .. } => self.sim.netlist().gate(gate).output.index(),
+        }
+    }
+
+    /// Tries to extend `pattern` (in place) so it detects `fault`, using
+    /// a throwaway scratch. Prefer [`Podem::generate_with_scratch`] in
+    /// loops.
+    pub fn generate(&self, fault: TransitionFault, pattern: &mut TestPattern) -> PodemOutcome {
+        let mut scratch = PodemScratch::default();
+        self.generate_with_scratch(fault, pattern, &mut scratch)
+    }
+
     /// Tries to extend `pattern` (in place) so it detects `fault`.
     ///
     /// Existing care bits in `pattern` are treated as hard constraints —
     /// this is what makes greedy dynamic compaction possible. On
     /// `Untestable` / `Aborted`, the pattern is restored to its input
-    /// state.
-    pub fn generate(&self, fault: TransitionFault, pattern: &mut TestPattern) -> PodemOutcome {
+    /// state. The scratch carries the simulated planes from call to
+    /// call; any engine may use any scratch (it rebinds itself), but
+    /// reuse with the *same* engine is what makes the resync cheap.
+    pub fn generate_with_scratch(
+        &self,
+        fault: TransitionFault,
+        pattern: &mut TestPattern,
+        scratch: &mut PodemScratch,
+    ) -> PodemOutcome {
+        if !self.observable[self.effect_net(fault)] {
+            // No structural path from the fault effect to a capture
+            // point: the faulty plane can never differ at an observed
+            // net, so the search below could only ever exhaust or
+            // abort. Classify it without simulating anything.
+            return PodemOutcome::Untestable;
+        }
         let checkpoint = pattern.clone();
-        let outcome = self.search(fault, pattern);
+        let outcome = self.search(fault, pattern, scratch);
         if outcome != PodemOutcome::Test {
             *pattern = checkpoint;
         }
         outcome
     }
 
-    fn search(&self, fault: TransitionFault, pattern: &mut TestPattern) -> PodemOutcome {
+    fn owner_token(&self) -> (usize, usize, u32, LaunchMode) {
+        let netlist = self.sim.netlist();
+        (
+            netlist as *const Netlist as usize,
+            netlist.num_nets(),
+            self.active_clock.raw(),
+            self.mode,
+        )
+    }
+
+    /// Full (re)initialisation of the scratch planes from `pattern`.
+    fn rebuild(&self, pattern: &TestPattern, s: &mut PodemScratch) {
+        let netlist = self.sim.netlist();
+        s.frame1 = self.sim.eval(&pattern.load, &pattern.pi, None);
+        let state2 = match self.mode {
+            LaunchMode::Capture => {
+                loc::next_state_masked(netlist, &pattern.load, &s.frame1, self.active_clock)
+            }
+            LaunchMode::Shift => loc::shift_state(netlist, &pattern.load, Logic::Zero),
+        };
+        s.good2 = self.sim.eval(&state2, &pattern.pi, None);
+        s.faulty2.clear();
+        s.faulty2.resize(netlist.num_nets(), Logic::X);
+        s.queue
+            .ensure(self.num_levels as usize, netlist.num_gates());
+        s.cone_net.clear();
+        s.cone_net.resize(netlist.num_nets(), 0);
+        s.cone_gate.clear();
+        s.cone_gate.resize(netlist.num_gates(), 0);
+        s.cone_epoch = 0;
+        s.cone_site = None;
+        s.xstamp.clear();
+        s.xstamp.resize(netlist.num_nets(), 0);
+        s.xepoch = 0;
+        s.owner = Some(self.owner_token());
+    }
+
+    /// Event-driven resync of `frame1` / `good2` after input bits
+    /// changed. The planes themselves are the cache: flop-Q and PI nets
+    /// hold exactly the input values they were last synced with, so
+    /// diffing the pattern against them finds every change (decisions
+    /// set one bit; backtracks restore a few to X).
+    fn sync(&self, pattern: &TestPattern, s: &mut PodemScratch) {
+        let netlist = self.sim.netlist();
+        s.queue.begin();
+        for (i, f) in netlist.flops().iter().enumerate() {
+            let v = pattern.load[i];
+            let q = f.q.index();
+            if s.frame1[q] != v {
+                s.frame1[q] = v;
+                seed_fanout(netlist, &self.gate_level, &mut s.queue, f.q);
+            }
+        }
+        for (i, &p) in netlist.primary_inputs().iter().enumerate() {
+            let v = pattern.pi[i];
+            if s.frame1[p.index()] != v {
+                s.frame1[p.index()] = v;
+                seed_fanout(netlist, &self.gate_level, &mut s.queue, p);
+            }
+        }
+        drain_events(netlist, &self.gate_level, &mut s.queue, &mut s.frame1);
+        // Frame 2: recompute each flop's launch state (cheap, O(flops))
+        // and diff it against the good plane's Q value; primary inputs
+        // are held across both frames.
+        s.queue.begin();
+        for (i, f) in netlist.flops().iter().enumerate() {
+            let nv = match self.state2_src[i] {
+                State2Src::FromD(d) => s.frame1[d.index()],
+                State2Src::Hold => pattern.load[i],
+                State2Src::LoadOf(j) => pattern.load[j as usize],
+                State2Src::ScanIn => Logic::Zero,
+            };
+            let q = f.q.index();
+            if s.good2[q] != nv {
+                s.good2[q] = nv;
+                seed_fanout(netlist, &self.gate_level, &mut s.queue, f.q);
+            }
+        }
+        for (i, &p) in netlist.primary_inputs().iter().enumerate() {
+            let v = pattern.pi[i];
+            if s.good2[p.index()] != v {
+                s.good2[p.index()] = v;
+                seed_fanout(netlist, &self.gate_level, &mut s.queue, p);
+            }
+        }
+        drain_events(netlist, &self.gate_level, &mut s.queue, &mut s.good2);
+    }
+
+    /// Marks the output cone of `site` and builds the cone gate orders
+    /// and in-cone observation list. Only cone nets can ever carry a
+    /// good/faulty difference, so every downstream consumer (faulty
+    /// sweep, D-frontier scan, detection check, X-path) is restricted to
+    /// these structures.
+    fn set_cone(&self, site: FaultSite, s: &mut PodemScratch) {
+        let netlist = self.sim.netlist();
+        if s.cone_epoch == u32::MAX {
+            s.cone_net.fill(0);
+            s.cone_gate.fill(0);
+            s.cone_epoch = 1;
+        } else {
+            s.cone_epoch += 1;
+        }
+        let epoch = s.cone_epoch;
+        s.cone_topo.clear();
+        s.work.clear();
+        match site {
+            FaultSite::Net(n) => {
+                s.cone_net[n.index()] = epoch;
+                s.work.push(n.raw());
+            }
+            FaultSite::Pin { gate, .. } => {
+                // The reading gate itself is the cone root: the
+                // difference is born inside it.
+                s.cone_gate[gate.index()] = epoch;
+                s.cone_topo.push(gate.raw());
+                let out = netlist.gate(gate).output;
+                s.cone_net[out.index()] = epoch;
+                s.work.push(out.raw());
+            }
+        }
+        while let Some(ni) = s.work.pop() {
+            for &g in netlist.fanout_gates(NetId::new(ni)) {
+                if s.cone_gate[g.index()] != epoch {
+                    s.cone_gate[g.index()] = epoch;
+                    s.cone_topo.push(g.raw());
+                    let out = netlist.gate(g).output;
+                    if s.cone_net[out.index()] != epoch {
+                        s.cone_net[out.index()] = epoch;
+                        s.work.push(out.raw());
+                    }
+                }
+            }
+        }
+        s.cone_topo
+            .sort_unstable_by_key(|&g| (self.gate_level[g as usize], g));
+        s.cone_by_id.clear();
+        s.cone_by_id.extend_from_slice(&s.cone_topo);
+        s.cone_by_id.sort_unstable();
+        s.cone_observed.clear();
+        for &o in &self.observed {
+            if s.cone_net[o.index()] == epoch {
+                s.cone_observed.push(o);
+            }
+        }
+        s.cone_site = Some(site);
+    }
+
+    /// Rebuilds the faulty-plane overlay in one topological sweep over
+    /// the cone. Equivalent to a full faulty-machine evaluation because
+    /// outside the cone the faulty machine equals `good2` (which `fv`
+    /// reads through to), and inside it every net is rewritten here.
+    fn rebuild_faulty(&self, fault: TransitionFault, v_init: Logic, s: &mut PodemScratch) {
+        let netlist = self.sim.netlist();
+        let epoch = s.cone_epoch;
+        if let FaultSite::Net(n) = fault.site {
+            // The stem fault forces the net itself; its driver is never
+            // in the cone (no combinational cycles), so nothing below
+            // overwrites it.
+            s.faulty2[n.index()] = v_init;
+        }
+        let injected = match fault.site {
+            FaultSite::Pin { gate, pin } => Some((gate, pin as usize)),
+            FaultSite::Net(_) => None,
+        };
+        let topo = std::mem::take(&mut s.cone_topo);
+        let mut inbuf = [Logic::X; 4];
+        for &gi in &topo {
+            let g = GateId::new(gi);
+            let gate = netlist.gate(g);
+            let n_in = gate.inputs.len();
+            for (k, &inp) in gate.inputs.iter().enumerate() {
+                let i = inp.index();
+                let mut v = if s.cone_net[i] == epoch {
+                    s.faulty2[i]
+                } else {
+                    s.good2[i]
+                };
+                if injected == Some((g, k)) {
+                    v = v_init;
+                }
+                inbuf[k] = v;
+            }
+            s.faulty2[gate.output.index()] = gate.kind.eval(&inbuf[..n_in]);
+        }
+        s.cone_topo = topo;
+    }
+
+    fn search(
+        &self,
+        fault: TransitionFault,
+        pattern: &mut TestPattern,
+        s: &mut PodemScratch,
+    ) -> PodemOutcome {
         let netlist = self.sim.netlist();
         let v_init = Logic::from_bool(fault.polarity.initial_value());
         let v_final = Logic::from_bool(fault.polarity.final_value());
         let site_net = fault.site.net(netlist);
-        let injection = Injection {
-            site: fault.site,
-            value: v_init,
-        };
+        if s.owner != Some(self.owner_token()) {
+            self.rebuild(pattern, s);
+        } else {
+            self.sync(pattern, s);
+        }
+        if s.cone_site != Some(fault.site) {
+            self.set_cone(fault.site, s);
+        }
+        self.rebuild_faulty(fault, v_init, s);
         // Decision stack: (var, value currently tried, flipped already?).
         let mut stack: Vec<(Var, Logic, bool)> = Vec::new();
         let mut backtracks = 0u32;
-        let mut state = self.simulate(pattern, injection);
         let trace = std::env::var_os("PODEM_TRACE").is_some();
         loop {
-            match self.objective(&state, fault, site_net, v_init, v_final) {
+            match self.objective(s, fault, site_net, v_init, v_final) {
                 Objective::Detected => return PodemOutcome::Test,
                 Objective::Assign(net, value, frame) => {
                     if trace {
@@ -172,14 +567,14 @@ impl<'a> Podem<'a> {
                             stack.len()
                         );
                     }
-                    match self.backtrace(&state, net, value, frame) {
+                    match self.backtrace(s, net, value, frame) {
                         Some((var, val)) => {
                             if trace {
                                 eprintln!("  decide {var:?} = {val}");
                             }
                             self.set_var(pattern, var, val);
                             stack.push((var, val, false));
-                            state = self.simulate(pattern, injection);
+                            self.resim(fault, v_init, pattern, s);
                         }
                         None => {
                             if trace {
@@ -194,7 +589,7 @@ impl<'a> Podem<'a> {
                             if backtracks >= self.backtrack_limit {
                                 return PodemOutcome::Aborted;
                             }
-                            state = self.simulate(pattern, injection);
+                            self.resim(fault, v_init, pattern, s);
                         }
                     }
                 }
@@ -209,28 +604,23 @@ impl<'a> Podem<'a> {
                     if backtracks >= self.backtrack_limit {
                         return PodemOutcome::Aborted;
                     }
-                    state = self.simulate(pattern, injection);
+                    self.resim(fault, v_init, pattern, s);
                 }
             }
         }
     }
 
-    fn simulate(&self, pattern: &TestPattern, injection: Injection) -> SimState {
-        let netlist = self.sim.netlist();
-        let frame1 = self.sim.eval(&pattern.load, &pattern.pi, None);
-        let state2 = match self.mode {
-            LaunchMode::Capture => {
-                loc::next_state_masked(netlist, &pattern.load, &frame1, self.active_clock)
-            }
-            LaunchMode::Shift => loc::shift_state(netlist, &pattern.load, Logic::Zero),
-        };
-        let good2 = self.sim.eval(&state2, &pattern.pi, None);
-        let faulty2 = self.sim.eval(&state2, &pattern.pi, Some(injection));
-        SimState {
-            frame1,
-            good2,
-            faulty2,
-        }
+    /// One decision step's worth of re-simulation: resync the good
+    /// planes from the pattern, then resweep the faulty cone.
+    fn resim(
+        &self,
+        fault: TransitionFault,
+        v_init: Logic,
+        pattern: &TestPattern,
+        s: &mut PodemScratch,
+    ) {
+        self.sync(pattern, s);
+        self.rebuild_faulty(fault, v_init, s);
     }
 
     fn set_var(&self, pattern: &mut TestPattern, var: Var, value: Logic) {
@@ -258,14 +648,14 @@ impl<'a> Podem<'a> {
 
     fn objective(
         &self,
-        state: &SimState,
+        s: &mut PodemScratch,
         fault: TransitionFault,
         site_net: NetId,
         v_init: Logic,
         v_final: Logic,
     ) -> Objective {
         // 1. Launch in frame 1.
-        let s1 = state.frame1[site_net.index()];
+        let s1 = s.frame1[site_net.index()];
         if s1 == Logic::X {
             return Objective::Assign(site_net, v_init, Frame::One);
         }
@@ -273,22 +663,26 @@ impl<'a> Podem<'a> {
             return Objective::Conflict;
         }
         // 2. Excitation in frame 2 (good machine reaches the final value).
-        let s2 = state.good2[site_net.index()];
+        let s2 = s.good2[site_net.index()];
         if s2 == Logic::X {
             return Objective::Assign(site_net, v_final, Frame::Two);
         }
         if s2 != v_final {
             return Objective::Conflict;
         }
-        // 3. Detection at an observed capture flop?
-        for &obs in &self.observed {
-            let g = state.good2[obs.index()];
-            let f = state.faulty2[obs.index()];
+        // 3. Detection at an observed capture flop? Only in-cone
+        // observation points can differ.
+        for &obs in &s.cone_observed {
+            let g = s.good2[obs.index()];
+            let f = s.faulty2[obs.index()];
             if g.is_known() && f.is_known() && g != f {
                 return Objective::Detected;
             }
         }
-        // 4. Drive the D-frontier.
+        // 4. Drive the D-frontier. Gates outside the cone see identical
+        // good/faulty input values, so scanning the cone's gates in
+        // ascending id order visits exactly the candidates a full scan
+        // would, in the same order.
         let netlist = self.sim.netlist();
         let mut best: Option<(u32, NetId, Logic)> = None;
         let mut frontier_nets: Vec<NetId> = Vec::new();
@@ -299,28 +693,29 @@ impl<'a> Podem<'a> {
         if let FaultSite::Pin { gate, pin } = fault.site {
             let g = netlist.gate(gate);
             let out = g.output.index();
-            let undetermined = !(state.good2[out].is_known() && state.faulty2[out].is_known());
+            let undetermined = !(s.good2[out].is_known() && s.faulty2[out].is_known());
             if undetermined {
-                if let Some((p, val)) = self.side_objective(state, gate, pin as usize) {
+                if let Some((p, val)) = self.side_objective(s, gate, pin as usize) {
                     frontier_nets.push(g.output);
                     best = Some((self.depth[g.inputs[p].index()], g.inputs[p], val));
                 }
             }
         }
-        for (gi, gate) in netlist.gates().iter().enumerate() {
+        for &gi in &s.cone_by_id {
+            let gid = GateId::new(gi);
+            let gate = netlist.gate(gid);
             let out = gate.output.index();
-            let out_diff_known = state.good2[out].is_known() && state.faulty2[out].is_known();
-            if out_diff_known && state.good2[out] == state.faulty2[out] {
-                continue; // settled, no difference at output
-            }
+            let fout = s.faulty2[out];
+            let out_diff_known = s.good2[out].is_known() && fout.is_known();
             if out_diff_known {
-                continue; // difference already propagated past this gate
+                // Settled (no difference) or already propagated past.
+                continue;
             }
             // Output X in some plane: is a difference arriving?
             let mut has_diff_input = false;
             for &inp in &gate.inputs {
-                let g = state.good2[inp.index()];
-                let f = state.faulty2[inp.index()];
+                let g = s.good2[inp.index()];
+                let f = fv(s, inp.index());
                 if g.is_known() && f.is_known() && g != f {
                     has_diff_input = true;
                     break;
@@ -330,7 +725,7 @@ impl<'a> Podem<'a> {
                 continue;
             }
             // Pick an X side input and its non-controlling value.
-            if let Some((pin, val)) = self.propagation_objective(state, GateId::new(gi as u32)) {
+            if let Some((pin, val)) = self.propagation_objective(s, gid) {
                 frontier_nets.push(gate.output);
                 let d = self.depth[gate.inputs[pin].index()];
                 let key = d; // prefer shallow side inputs
@@ -342,7 +737,7 @@ impl<'a> Podem<'a> {
         // X-path check: some frontier output must still reach an observed
         // capture point through not-yet-blocked (X) nets, otherwise the
         // current assignments can never detect the fault.
-        if best.is_some() && !self.x_path_exists(state, &frontier_nets) {
+        if best.is_some() && !self.x_path_exists(s, &frontier_nets) {
             return Objective::Conflict;
         }
         match best {
@@ -353,28 +748,38 @@ impl<'a> Podem<'a> {
 
     /// Forward reachability from the D-frontier through X-valued nets to
     /// any observation point (the classic PODEM X-path check).
-    fn x_path_exists(&self, state: &SimState, frontier_nets: &[NetId]) -> bool {
+    fn x_path_exists(&self, s: &mut PodemScratch, frontier_nets: &[NetId]) -> bool {
         let netlist = self.sim.netlist();
-        let mut seen = vec![false; netlist.num_nets()];
-        let mut stack: Vec<NetId> = frontier_nets.to_vec();
-        while let Some(net) = stack.pop() {
-            let i = net.index();
-            if std::mem::replace(&mut seen[i], true) {
+        if s.xepoch == u32::MAX {
+            s.xstamp.fill(0);
+            s.xepoch = 1;
+        } else {
+            s.xepoch += 1;
+        }
+        let epoch = s.xepoch;
+        s.xstack.clear();
+        for n in frontier_nets {
+            s.xstack.push(n.raw());
+        }
+        while let Some(ni) = s.xstack.pop() {
+            let i = ni as usize;
+            if s.xstamp[i] == epoch {
                 continue;
             }
+            s.xstamp[i] = epoch;
             if self.observed_mask[i] {
                 return true;
             }
-            for &g in netlist.fanout_gates(net) {
+            for &g in netlist.fanout_gates(NetId::new(ni)) {
                 let out = netlist.gate(g).output;
                 let o = out.index();
                 // Follow only nets whose value is still undecided in at
                 // least one plane (a known-equal output blocks the path).
-                let blocked = state.good2[o].is_known()
-                    && state.faulty2[o].is_known()
-                    && state.good2[o] == state.faulty2[o];
-                if !blocked && !seen[o] {
-                    stack.push(out);
+                let gv = s.good2[o];
+                let fvv = fv(s, o);
+                let blocked = gv.is_known() && fvv.is_known() && gv == fvv;
+                if !blocked && s.xstamp[o] != epoch {
+                    s.xstack.push(out.raw());
                 }
             }
         }
@@ -383,22 +788,22 @@ impl<'a> Podem<'a> {
 
     /// For a D-frontier gate, returns `(pin index, value)` of an
     /// unassigned side input to set non-controlling.
-    fn propagation_objective(&self, state: &SimState, g: GateId) -> Option<(usize, Logic)> {
+    fn propagation_objective(&self, s: &PodemScratch, g: GateId) -> Option<(usize, Logic)> {
         let netlist = self.sim.netlist();
         let gate = netlist.gate(g);
         let diff_pin = gate.inputs.iter().position(|inp| {
-            let gv = state.good2[inp.index()];
-            let fv = state.faulty2[inp.index()];
-            gv.is_known() && fv.is_known() && gv != fv
+            let gv = s.good2[inp.index()];
+            let fvv = fv(s, inp.index());
+            gv.is_known() && fvv.is_known() && gv != fvv
         })?;
-        self.side_objective(state, g, diff_pin)
+        self.side_objective(s, g, diff_pin)
     }
 
     /// Side-input objective for a frontier gate whose difference arrives
     /// on `diff_pin`: pick an X side input and its non-controlling value.
     fn side_objective(
         &self,
-        state: &SimState,
+        s: &PodemScratch,
         g: GateId,
         diff_pin: usize,
     ) -> Option<(usize, Logic)> {
@@ -410,8 +815,7 @@ impl<'a> Podem<'a> {
             .enumerate()
             .filter(|&(i, inp)| {
                 i != diff_pin
-                    && (state.good2[inp.index()] == Logic::X
-                        || state.faulty2[inp.index()] == Logic::X)
+                    && (s.good2[inp.index()] == Logic::X || fv(s, inp.index()) == Logic::X)
             })
             .map(|(i, _)| i)
             .collect();
@@ -455,7 +859,7 @@ impl<'a> Podem<'a> {
     /// decision variable and a value for it.
     fn backtrace(
         &self,
-        state: &SimState,
+        s: &PodemScratch,
         mut net: NetId,
         mut value: Logic,
         mut frame: Frame,
@@ -498,8 +902,8 @@ impl<'a> Podem<'a> {
                 },
                 Some(NetSource::Gate(g)) => {
                     let plane = match frame {
-                        Frame::One => &state.frame1,
-                        Frame::Two => &state.good2,
+                        Frame::One => &s.frame1,
+                        Frame::Two => &s.good2,
                     };
                     let (next, nval) = self.choose_input(plane, g, value)?;
                     net = next;
@@ -691,6 +1095,24 @@ mod tests {
         );
     }
 
+    /// A scratch carried across faults must behave exactly like a fresh
+    /// scratch per fault: same outcomes, same pattern stream.
+    #[test]
+    fn shared_scratch_matches_fresh_scratch() {
+        let n = mini();
+        let podem = Podem::new(&n, ClockId::new(0), 200);
+        let faults = FaultList::full(&n);
+        let mut shared = PodemScratch::new();
+        let mut pat_fresh = TestPattern::unspecified(&n);
+        let mut pat_shared = TestPattern::unspecified(&n);
+        for &fault in faults.faults() {
+            let fresh = podem.generate(fault, &mut pat_fresh);
+            let reused = podem.generate_with_scratch(fault, &mut pat_shared, &mut shared);
+            assert_eq!(fresh, reused, "outcome diverged on {fault:?}");
+            assert_eq!(pat_fresh, pat_shared, "pattern diverged on {fault:?}");
+        }
+    }
+
     #[test]
     fn untestable_fault_is_classified() {
         // q1's only fanout is a gate feeding d1... build a truly untestable
@@ -717,6 +1139,34 @@ mod tests {
             PodemOutcome::Untestable
         );
         // Pattern unchanged on failure.
+        assert_eq!(pattern, TestPattern::unspecified(&n));
+    }
+
+    #[test]
+    fn unobservable_fault_is_rejected_without_search() {
+        // w feeds nothing observable: its only reader drives a net with
+        // no flop behind it.
+        let mut b = NetlistBuilder::new("o");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let a = b.add_primary_input("a");
+        let q = b.add_net("q");
+        let d = b.add_net("d");
+        let dead = b.add_net("dead");
+        b.add_gate(CellKind::Inv, &[q], d, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[a], dead, blk).unwrap();
+        b.add_primary_output(dead);
+        b.add_flop("ff", d, q, clk, ClockEdge::Rising, blk).unwrap();
+        let n = b.finish().unwrap();
+        let podem = Podem::new(&n, ClockId::new(0), 1000);
+        // `dead` never reaches a capture flop (primary outputs are not
+        // observed in this flow), so the fault is untestable a priori.
+        let fault = TransitionFault::new(FaultSite::Net(dead), Polarity::SlowToFall);
+        let mut pattern = TestPattern::unspecified(&n);
+        assert_eq!(
+            podem.generate(fault, &mut pattern),
+            PodemOutcome::Untestable
+        );
         assert_eq!(pattern, TestPattern::unspecified(&n));
     }
 

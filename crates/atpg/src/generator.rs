@@ -1,12 +1,12 @@
 //! The pattern-generation loop: primary targeting, greedy dynamic
 //! compaction, fill and PPSFP fault dropping.
 
-use crate::{Podem, PodemOutcome};
+use crate::{Podem, PodemOutcome, PodemScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scap_dft::{FillPolicy, PatternBatch, PatternSet, TestPattern};
 use scap_netlist::{ClockId, Netlist};
-use scap_sim::{FaultList, LaunchMode, TransitionFaultSim};
+use scap_sim::{FaultList, LaunchMode, PropagationScratch, TransitionFault, TransitionFaultSim};
 use serde::{Deserialize, Serialize};
 
 /// ATPG knobs.
@@ -177,6 +177,19 @@ impl<'a> Generator<'a> {
             .filter(|s| matches!(s, FaultStatus::Detected))
             .count();
         let list = faults.faults();
+        // Drop-sim works on equivalence-class representatives: a
+        // representative's detect mask answers for every class member,
+        // so statuses evolve exactly as with per-fault simulation.
+        let collapse = faults.collapse(self.netlist);
+        let rep = collapse.rep();
+        let mut scratch = PropagationScratch::default();
+        // One simulation scratch for every PODEM call in the run: the
+        // engine resyncs it incrementally instead of re-simulating the
+        // whole netlist three times per decision.
+        let mut podem_scratch = PodemScratch::default();
+        let mut rep_targets: Vec<TransitionFault> = Vec::new();
+        let mut rep_ids: Vec<u32> = Vec::new();
+        let mut slot_of: Vec<u32> = vec![u32::MAX; list.len()];
         for idx in 0..list.len() {
             if patterns.len() >= self.config.max_patterns {
                 break;
@@ -185,7 +198,12 @@ impl<'a> Generator<'a> {
                 continue;
             }
             let mut pattern = TestPattern::unspecified(self.netlist);
-            match self.podem.generate(list[idx], &mut pattern) {
+            let primary = {
+                let _span = scap_obs::span!("atpg.podem_primary");
+                self.podem
+                    .generate_with_scratch(list[idx], &mut pattern, &mut podem_scratch)
+            };
+            match primary {
                 PodemOutcome::Untestable => {
                     status[idx] = FaultStatus::Untestable;
                     continue;
@@ -210,7 +228,11 @@ impl<'a> Generator<'a> {
                     continue;
                 }
                 scanned += 1;
-                match self.podem.generate(f2, &mut pattern) {
+                let _span = scap_obs::span!("atpg.podem_secondary");
+                match self
+                    .podem
+                    .generate_with_scratch(f2, &mut pattern, &mut podem_scratch)
+                {
                     PodemOutcome::Test => fails = 0,
                     _ => fails += 1,
                 }
@@ -218,24 +240,38 @@ impl<'a> Generator<'a> {
             let filled = pattern.fill(self.netlist, self.config.fill, &mut rng);
             // PPSFP drop: the filled pattern is ground truth for status.
             let batch = PatternBatch::pack(std::slice::from_ref(&filled));
-            let remaining: Vec<usize> = status
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !matches!(s, FaultStatus::Detected))
-                .map(|(i, _)| i)
-                .collect();
-            let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
-            let summary = self.fault_sim.detect_batch(
+            let _span = scap_obs::span!("atpg.drop_sim");
+            rep_ids.clear();
+            rep_targets.clear();
+            for (i, s) in status.iter().enumerate() {
+                if matches!(s, FaultStatus::Detected) {
+                    continue;
+                }
+                let r = rep[i] as usize;
+                if slot_of[r] == u32::MAX {
+                    slot_of[r] = rep_targets.len() as u32;
+                    rep_ids.push(r as u32);
+                    rep_targets.push(list[r]);
+                }
+            }
+            let summary = self.fault_sim.detect_batch_with_scratch(
                 &batch.load_words,
                 &batch.pi_words,
                 batch.valid_mask,
-                &targets,
+                &rep_targets,
+                &mut scratch,
             );
-            for (k, &i) in remaining.iter().enumerate() {
-                if summary.detect_mask[k] != 0 {
-                    status[i] = FaultStatus::Detected;
+            for (i, s) in status.iter_mut().enumerate() {
+                if matches!(s, FaultStatus::Detected) {
+                    continue;
+                }
+                if summary.detect_mask[slot_of[rep[i] as usize] as usize] != 0 {
+                    *s = FaultStatus::Detected;
                     detected_total += 1;
                 }
+            }
+            for &r in &rep_ids {
+                slot_of[r as usize] = u32::MAX;
             }
             patterns.push(pattern, filled);
             coverage_curve.push((patterns.len(), detected_total));

@@ -37,5 +37,5 @@
 mod engine;
 mod generator;
 
-pub use engine::{Podem, PodemOutcome};
+pub use engine::{Podem, PodemOutcome, PodemScratch};
 pub use generator::{AtpgConfig, AtpgRun, FaultStatus, Generator};

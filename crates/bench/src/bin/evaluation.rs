@@ -27,6 +27,9 @@ struct Stage {
     name: &'static str,
     ms: f64,
     metrics: Vec<(&'static str, u64)>,
+    /// Fault-simulation throughput over the stage (launch/detect checks
+    /// per wall-clock second), when the stage ran any.
+    checks_per_sec: Option<f64>,
 }
 
 /// Per-stage wall-clock + metrics collector feeding
@@ -47,7 +50,17 @@ impl StageClock {
         let out = f();
         let ms = t.elapsed().as_secs_f64() * 1e3;
         let metrics = scap_obs::snapshot().counter_deltas(&before);
-        self.stages.push(Stage { name, ms, metrics });
+        let checks_per_sec = metrics
+            .iter()
+            .find(|(n, _)| *n == "sim.fault_sim_checks")
+            .filter(|&&(_, d)| d > 0 && ms > 0.0)
+            .map(|&(_, d)| d as f64 / (ms / 1e3));
+        self.stages.push(Stage {
+            name,
+            ms,
+            metrics,
+            checks_per_sec,
+        });
         out
     }
 
@@ -77,8 +90,11 @@ impl StageClock {
             }
             let mut o = Obj::new();
             o.str("name", stage.name)
-                .raw("ms", &f64_token_fixed(stage.ms, 3))
-                .raw("metrics", &metrics.finish());
+                .raw("ms", &f64_token_fixed(stage.ms, 3));
+            if let Some(cps) = stage.checks_per_sec {
+                o.raw("fault_sim_checks_per_sec", &f64_token_fixed(cps, 1));
+            }
+            o.raw("metrics", &metrics.finish());
             stages.raw(&o.finish());
         }
         let mut tot = Obj::new();

@@ -5,9 +5,10 @@
 //! fortuitous detection across staged steps is credited correctly.
 
 use scap_dft::PatternSet;
-use scap_exec::Executor;
+use scap_exec::{shard_ranges, Executor};
 use scap_netlist::{ClockId, Netlist};
-use scap_sim::{FaultList, PropagationScratch, TransitionFaultSim};
+use scap_sim::loc::BatchFrames;
+use scap_sim::{CollapseMap, FaultList, PropagationScratch, TransitionFaultSim};
 
 /// Result of grading a pattern set.
 #[derive(Clone, Debug)]
@@ -36,16 +37,44 @@ impl GradeResult {
     }
 }
 
+/// Launch frames of one batch, precomputed once per round.
+struct RoundBatch {
+    start: usize,
+    frames: BatchFrames,
+    valid_mask: u64,
+}
+
+/// Computes the round's launch frames, one batch per worker.
+fn round_frames(
+    exec: &Executor,
+    sim: &TransitionFaultSim<'_>,
+    round: &[(usize, scap_dft::PatternBatch)],
+) -> Vec<RoundBatch> {
+    scap_obs::counter!("sim.fault_sim_batches").add(round.len() as u64);
+    exec.parallel_map(round, |(start, batch)| RoundBatch {
+        start: *start,
+        frames: sim.frames(&batch.load_words, &batch.pi_words),
+        valid_mask: batch.valid_mask,
+    })
+}
+
 /// Fault-simulates `patterns` in order against `faults` with dropping,
 /// recording each fault's first detecting pattern.
 ///
-/// Batches are simulated in *rounds* of up to [`Executor::threads`]
-/// batches each; fault dropping happens between rounds, and within a
-/// round each fault is credited to its earliest detecting pattern
-/// (min-merge). Because the serial algorithm also credits the earliest
-/// detection — dropping only skips simulation of already-credited
-/// faults — the result is bit-identical for every thread count, and a
-/// one-thread executor degenerates to the exact serial loop.
+/// The universe is first collapsed to observable equivalence-class
+/// representatives ([`CollapseMap`]); unobservable faults can never
+/// detect and a representative's detect mask answers for every class
+/// member, so expanding the credit afterwards reproduces the
+/// uncollapsed result exactly. Batches are simulated in *rounds* of up
+/// to [`Executor::threads`] batches each, with the launch frames of
+/// each batch computed once per round. Within a round the
+/// remaining-fault list is sharded across workers — each worker
+/// propagates its fault shard through every batch of the round — and a
+/// fault is credited to its earliest detecting pattern (min-merge).
+/// Because a fault's earliest detection is a global property of the
+/// pattern set — dropping only skips faults that are already credited —
+/// the result is bit-identical for every thread count and shard
+/// boundary, and a one-thread executor degenerates to the serial loop.
 pub fn grade_patterns(
     netlist: &Netlist,
     active_clock: ClockId,
@@ -55,53 +84,64 @@ pub fn grade_patterns(
     let sim = TransitionFaultSim::new(netlist, active_clock);
     let exec = Executor::new();
     let list = faults.faults();
+    let collapse = CollapseMap::build(netlist, faults);
+    let members = collapse.members();
     let mut first_detection: Vec<Option<usize>> = vec![None; list.len()];
     let mut detections_at: Vec<usize> = vec![0; patterns.len() + 1];
+    // Compacting index list of not-yet-detected representatives; shrunk
+    // in place between rounds instead of being rebuilt by an O(faults)
+    // scan per round.
+    let mut remaining: Vec<u32> = (0..list.len() as u32)
+        .filter(|&i| collapse.is_rep(i as usize) && sim.is_observable(list[i as usize]))
+        .collect();
+    let num_reps = list.len() - collapse.num_collapsed();
+    scap_obs::counter!("sim.faults_skipped_unobservable").add((num_reps - remaining.len()) as u64);
     let batches: Vec<_> = patterns.batches().collect();
-    for round in batches.chunks(exec.threads().max(1)) {
-        let remaining: Vec<usize> = first_detection
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.is_none())
-            .map(|(i, _)| i)
-            .collect();
+    let threads = exec.threads().max(1);
+    for round in batches.chunks(threads) {
         if remaining.is_empty() {
             break;
         }
         scap_obs::counter!("grade.rounds").incr();
         scap_obs::counter!("grade.fault_sim_targets").add(remaining.len() as u64);
-        let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
-        let summaries = exec.parallel_map_with(
+        let frames = round_frames(&exec, &sim, round);
+        let shards = shard_ranges(remaining.len(), threads);
+        scap_obs::counter!("grade.fault_shards").add(shards.len() as u64);
+        let credited: Vec<Vec<(u32, u32)>> = exec.parallel_map_with(
             || PropagationScratch::new(netlist.num_nets()),
-            round,
-            |scratch, (start, batch)| {
-                (
-                    *start,
-                    sim.detect_batch_with_scratch(
-                        &batch.load_words,
-                        &batch.pi_words,
-                        batch.valid_mask,
-                        &targets,
-                        scratch,
-                    ),
-                )
+            &shards,
+            |scratch, range| {
+                let mut hits = Vec::new();
+                let mut checks = 0u64;
+                for &fi in &remaining[range.clone()] {
+                    let fault = list[fi as usize];
+                    let mut best = u32::MAX;
+                    for rb in &frames {
+                        checks += 1;
+                        let mask = sim.detect_one(&rb.frames, rb.valid_mask, fault, scratch);
+                        if mask != 0 {
+                            best = best.min(rb.start as u32 + mask.trailing_zeros());
+                        }
+                    }
+                    if best != u32::MAX {
+                        hits.push((fi, best));
+                    }
+                }
+                scap_obs::counter!("sim.fault_sim_checks").add(checks);
+                scap_obs::counter!("sim.fault_detections").add(hits.len() as u64);
+                hits
             },
         );
-        for (k, &fi) in remaining.iter().enumerate() {
-            let mut best: Option<usize> = None;
-            for (start, summary) in &summaries {
-                let mask = summary.detect_mask[k];
-                if mask != 0 {
-                    let p = start + mask.trailing_zeros() as usize;
-                    best = Some(best.map_or(p, |b| b.min(p)));
+        for hits in &credited {
+            for &(fi, p) in hits {
+                for &m in &members[fi as usize] {
+                    first_detection[m as usize] = Some(p as usize);
+                    detections_at[p as usize + 1] += 1;
                 }
-            }
-            if let Some(p) = best {
-                first_detection[fi] = Some(p);
-                detections_at[p + 1] += 1;
-                scap_obs::counter!("grade.faults_dropped").incr();
+                scap_obs::counter!("grade.faults_dropped").add(members[fi as usize].len() as u64);
             }
         }
+        remaining.retain(|&fi| first_detection[fi as usize].is_none());
     }
     let mut curve = Vec::with_capacity(patterns.len());
     let mut cum = 0usize;
@@ -132,59 +172,64 @@ pub fn compact_patterns(
     let sim = TransitionFaultSim::new(netlist, active_clock);
     let exec = Executor::new();
     let list = faults.faults();
+    let collapse = CollapseMap::build(netlist, faults);
     let mut covered = vec![false; list.len()];
     let mut keep = vec![false; patterns.len()];
     // Walk batches from the END of the set in rounds of up to
-    // `exec.threads()` batches; within a round, credit each fault to its
-    // highest-index detecting pattern (max-merge). Batch starts differ by
-    // at least 64, so the max over a round always lands in the
-    // highest-start detecting batch — exactly the batch the serial
-    // reverse walk would have credited — and the result is bit-identical
-    // for every thread count.
+    // `exec.threads()` batches each, sharding the remaining
+    // representatives across workers; a fault is credited to its
+    // highest-index detecting pattern (max-merge). A representative's
+    // mask answers for the whole equivalence class, and a fault's latest
+    // detection is a global property of the set, so the kept-pattern set
+    // is bit-identical to the serial uncollapsed reverse walk for every
+    // thread count and shard boundary.
+    let mut remaining: Vec<u32> = (0..list.len() as u32)
+        .filter(|&i| collapse.is_rep(i as usize) && sim.is_observable(list[i as usize]))
+        .collect();
     let mut batches: Vec<_> = patterns.batches().collect();
     batches.reverse();
-    for round in batches.chunks(exec.threads().max(1)) {
-        let remaining: Vec<usize> = covered
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| !c)
-            .map(|(i, _)| i)
-            .collect();
+    let threads = exec.threads().max(1);
+    for round in batches.chunks(threads) {
         if remaining.is_empty() {
             break;
         }
         scap_obs::counter!("compact.rounds").incr();
-        let targets: Vec<_> = remaining.iter().map(|&i| list[i]).collect();
-        let summaries = exec.parallel_map_with(
+        let frames = round_frames(&exec, &sim, round);
+        let shards = shard_ranges(remaining.len(), threads);
+        scap_obs::counter!("grade.fault_shards").add(shards.len() as u64);
+        let credited: Vec<Vec<(u32, u32)>> = exec.parallel_map_with(
             || PropagationScratch::new(netlist.num_nets()),
-            round,
-            |scratch, (start, batch)| {
-                (
-                    *start,
-                    sim.detect_batch_with_scratch(
-                        &batch.load_words,
-                        &batch.pi_words,
-                        batch.valid_mask,
-                        &targets,
-                        scratch,
-                    ),
-                )
+            &shards,
+            |scratch, range| {
+                let mut hits = Vec::new();
+                let mut checks = 0u64;
+                for &fi in &remaining[range.clone()] {
+                    let fault = list[fi as usize];
+                    let mut best: Option<u32> = None;
+                    for rb in &frames {
+                        checks += 1;
+                        let mask = sim.detect_one(&rb.frames, rb.valid_mask, fault, scratch);
+                        if mask != 0 {
+                            let p = rb.start as u32 + (63 - mask.leading_zeros());
+                            best = Some(best.map_or(p, |b| b.max(p)));
+                        }
+                    }
+                    if let Some(p) = best {
+                        hits.push((fi, p));
+                    }
+                }
+                scap_obs::counter!("sim.fault_sim_checks").add(checks);
+                scap_obs::counter!("sim.fault_detections").add(hits.len() as u64);
+                hits
             },
         );
-        for (k, &fi) in remaining.iter().enumerate() {
-            let mut best: Option<usize> = None;
-            for (start, summary) in &summaries {
-                let mask = summary.detect_mask[k];
-                if mask != 0 {
-                    let p = start + (63 - mask.leading_zeros() as usize);
-                    best = Some(best.map_or(p, |b| b.max(p)));
-                }
-            }
-            if let Some(p) = best {
-                covered[fi] = true;
-                keep[p] = true;
+        for hits in &credited {
+            for &(fi, p) in hits {
+                covered[fi as usize] = true;
+                keep[p as usize] = true;
             }
         }
+        remaining.retain(|&fi| !covered[fi as usize]);
     }
     let kept: Vec<usize> = keep
         .iter()

@@ -228,6 +228,30 @@ impl Executor {
     }
 }
 
+/// Splits `0..n` into at most `shards` contiguous near-equal ranges
+/// (longer ranges first). Used to shard a work list across workers when
+/// single items are too cheap to schedule individually — e.g. one fault
+/// check. Deterministic for a given `(n, shards)`; callers that must be
+/// bit-identical across thread counts need an order-independent
+/// per-item merge (min/max/OR into per-item slots), not a
+/// shard-boundary-dependent one.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let k = shards.min(n);
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for s in 0..k {
+        let len = base + usize::from(s < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
 /// Runs two independent jobs on the default executor.
 pub fn join2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -299,6 +323,31 @@ mod tests {
     fn executor_clamps_to_one_thread() {
         assert_eq!(Executor::with_threads(0).threads(), 1);
         assert!(Executor::new().threads() >= 1);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 8, 1001] {
+                let ranges = shard_ranges(n, shards);
+                assert!(ranges.len() <= shards);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} shards={shards}");
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty shards");
+                    next = r.end;
+                }
+                if !ranges.is_empty() {
+                    let (min, max) = ranges.iter().fold((usize::MAX, 0), |(lo, hi), r| {
+                        (lo.min(r.len()), hi.max(r.len()))
+                    });
+                    assert!(max - min <= 1, "near-equal split");
+                }
+            }
+        }
+        assert!(shard_ranges(10, 0).is_empty());
     }
 
     #[test]

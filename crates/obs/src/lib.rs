@@ -47,6 +47,34 @@
 //! change any result, only record what happened. Counter updates are
 //! relaxed atomics, so values are exact under any interleaving (they are
 //! sums), while gauges hold the last/max write.
+//!
+//! # Name registry
+//!
+//! Names are `layer.metric` (dots separate, snake_case within); the
+//! prefix is the crate/subsystem that owns the call site. The load-bearing
+//! families — the ones `BENCH_evaluation.json`, `scripts/check.sh` and the
+//! serve `/metrics` endpoint assert on, and which therefore must not be
+//! renamed casually:
+//!
+//! * `sim.*` — fault-simulation kernel. `sim.fault_sim_checks` counts
+//!   fault×batch propagation attempts (the denominator of the
+//!   `fault_sim_checks_per_sec` throughput `evaluation.rs` derives per
+//!   stage); `sim.faults_skipped_unobservable` counts faults the static
+//!   observability prune rejected without simulating;
+//!   `sim.faults_collapsed` counts faults folded into an equivalence-class
+//!   representative; `sim.fault_detections` counts set bits credited.
+//! * `grade.*` — pattern grading. `grade.fault_shards` counts the
+//!   fault-parallel shards the grade/compact loops dispatched;
+//!   `grade.faults_dropped`/`grade.fault_sim_targets` size the shrinking
+//!   remaining-fault working set across rounds.
+//! * `atpg.*` — spans around the PODEM primary/secondary passes and the
+//!   per-pattern drop simulation.
+//! * `cg.*` — power-grid conjugate-gradient solves, with warm-start
+//!   hit/miss split and residual float gauges.
+//! * `exec.*` — the work-stealing executor (`exec.effective_threads` is
+//!   the high-water worker count `evaluation.rs` reports).
+//! * `compact.*`, `screen.*`, `flow.*`, `ablation.*`, `lint.*`,
+//!   `serve.*` — per-layer event counts named after what they count.
 
 pub mod json;
 

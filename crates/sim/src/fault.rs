@@ -1,7 +1,7 @@
 //! Transition-delay-fault model: sites, polarities, fault lists and
 //! structural collapsing.
 
-use scap_netlist::{BlockId, GateId, NetId, NetSource, Netlist};
+use scap_netlist::{BlockId, CellKind, GateId, NetId, NetSource, Netlist};
 use serde::{Deserialize, Serialize};
 
 /// Where a fault lives: on a net stem or on one gate input pin (branch).
@@ -49,6 +49,15 @@ impl Polarity {
     #[inline]
     pub const fn final_value(self) -> bool {
         matches!(self, Polarity::SlowToRise)
+    }
+
+    /// The opposite polarity — what an inverter maps a transition to.
+    #[inline]
+    pub const fn flipped(self) -> Polarity {
+        match self {
+            Polarity::SlowToRise => Polarity::SlowToFall,
+            Polarity::SlowToFall => Polarity::SlowToRise,
+        }
     }
 
     /// Both polarities.
@@ -202,6 +211,132 @@ impl FaultList {
     pub fn uncollapsed_count(&self) -> usize {
         self.uncollapsed
     }
+
+    /// Builds the transition-fault equivalence map of this list — see
+    /// [`CollapseMap`].
+    pub fn collapse(&self, netlist: &Netlist) -> CollapseMap {
+        CollapseMap::build(netlist, self)
+    }
+}
+
+/// Transition-fault equivalence classes over a [`FaultList`].
+///
+/// Two transition faults are *equivalent* when every pattern yields
+/// identical detect masks, so simulating one answers for both.
+/// Structurally: a fault on a net whose only reader is a buffer or
+/// inverter (no flop, no second gate) is equivalent to the fault on that
+/// gate's output with the polarity mapped through the gate (inverters
+/// flip it), because launch masks coincide under the zero-delay frame
+/// values and the propagated diff is the same word. Likewise the branch
+/// fault on a buffer/inverter input pin is equivalent to the stem fault
+/// on its output. Chains collapse transitively to the *deepest*
+/// equivalent fault present in the list, which makes the mapping
+/// idempotent (`rep[rep[i]] == rep[i]`).
+///
+/// Fault simulation targets one representative per class; detection
+/// credit is expanded back over every member, so coverage is still
+/// reported over the full (uncollapsed) universe.
+#[derive(Clone, Debug)]
+pub struct CollapseMap {
+    rep: Vec<u32>,
+    num_collapsed: usize,
+}
+
+impl CollapseMap {
+    /// Builds the equivalence map of `faults` on `netlist`.
+    pub fn build(netlist: &Netlist, faults: &FaultList) -> Self {
+        use std::collections::HashMap;
+        let list = faults.faults();
+        let index: HashMap<TransitionFault, u32> = list
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (*f, i as u32))
+            .collect();
+        let mut rep: Vec<u32> = (0..list.len() as u32).collect();
+        let mut num_collapsed = 0usize;
+        for (i, f) in list.iter().enumerate() {
+            let mut deepest = i as u32;
+            // Walk start: a stem fault starts on its own net; a branch
+            // fault on a buffer/inverter jumps to the gate output first.
+            let (mut cur, mut pol) = match f.site {
+                FaultSite::Net(n) => (n, f.polarity),
+                FaultSite::Pin { gate, .. } => {
+                    let g = netlist.gate(gate);
+                    if !matches!(g.kind, CellKind::Buf | CellKind::Inv) {
+                        continue;
+                    }
+                    let pol = if matches!(g.kind, CellKind::Inv) {
+                        f.polarity.flipped()
+                    } else {
+                        f.polarity
+                    };
+                    if let Some(&j) =
+                        index.get(&TransitionFault::new(FaultSite::Net(g.output), pol))
+                    {
+                        deepest = j;
+                    }
+                    (g.output, pol)
+                }
+            };
+            // Follow single-reader buffer/inverter links. A missing link
+            // fault (e.g. filtered out of a per-block list) does not stop
+            // the walk: equivalence is transitive through the circuit.
+            loop {
+                if !netlist.fanout_flops(cur).is_empty() {
+                    break;
+                }
+                let readers = netlist.fanout_gates(cur);
+                if readers.len() != 1 {
+                    break;
+                }
+                let g = netlist.gate(readers[0]);
+                if !matches!(g.kind, CellKind::Buf | CellKind::Inv) {
+                    break;
+                }
+                if matches!(g.kind, CellKind::Inv) {
+                    pol = pol.flipped();
+                }
+                cur = g.output;
+                if let Some(&j) = index.get(&TransitionFault::new(FaultSite::Net(cur), pol)) {
+                    deepest = j;
+                }
+            }
+            if deepest != i as u32 {
+                num_collapsed += 1;
+            }
+            rep[i] = deepest;
+        }
+        scap_obs::counter!("sim.faults_collapsed").add(num_collapsed as u64);
+        CollapseMap { rep, num_collapsed }
+    }
+
+    /// Representative fault index per fault (identity for class
+    /// representatives).
+    pub fn rep(&self) -> &[u32] {
+        &self.rep
+    }
+
+    /// Whether fault `i` represents its class.
+    #[inline]
+    pub fn is_rep(&self, i: usize) -> bool {
+        self.rep[i] == i as u32
+    }
+
+    /// Number of faults folded into another representative.
+    pub fn num_collapsed(&self) -> usize {
+        self.num_collapsed
+    }
+
+    /// Class members grouped by representative: `members()[r]` lists
+    /// every fault whose representative is `r` (including `r` itself);
+    /// empty for non-representatives.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.rep.len()];
+        for (i, &r) in self.rep.iter().enumerate() {
+            members[r as usize].push(i as u32);
+        }
+        members
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +412,100 @@ mod tests {
         let g = GateId::new(1);
         let site = FaultSite::Pin { gate: g, pin: 0 };
         assert_eq!(site.net(&n), n.gate(g).inputs[0]);
+    }
+
+    /// `a -Inv-> w1 -Buf-> w2 -> flop`: a single-reader chain where every
+    /// upstream fault is equivalent to one at the chain tail.
+    fn chain_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let a = b.add_primary_input("a");
+        let w1 = b.add_net("w1");
+        let w2 = b.add_net("w2");
+        let q = b.add_net("q");
+        b.add_gate(CellKind::Inv, &[a], w1, blk).unwrap();
+        b.add_gate(CellKind::Buf, &[w1], w2, blk).unwrap();
+        b.add_flop("ff", w2, q, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_primary_output(q);
+        b.finish().unwrap()
+    }
+
+    fn index_of(fl: &FaultList, f: TransitionFault) -> u32 {
+        fl.faults().iter().position(|&g| g == f).unwrap() as u32
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_tail_with_polarity_flip() {
+        let n = chain_netlist();
+        let fl = FaultList::full(&n);
+        let map = fl.collapse(&n);
+        // Nets in builder insertion order: a=0, w1=1, w2=2.
+        let a = NetId::new(0);
+        let w1 = NetId::new(1);
+        let w2 = NetId::new(2);
+        // One inverter on the walk flips the polarity once; the buffer
+        // preserves it.
+        let str_a = index_of(
+            &fl,
+            TransitionFault::new(FaultSite::Net(a), Polarity::SlowToRise),
+        );
+        let stf_w1 = index_of(
+            &fl,
+            TransitionFault::new(FaultSite::Net(w1), Polarity::SlowToFall),
+        );
+        let stf_w2 = index_of(
+            &fl,
+            TransitionFault::new(FaultSite::Net(w2), Polarity::SlowToFall),
+        );
+        assert_eq!(map.rep()[str_a as usize], stf_w2);
+        assert_eq!(map.rep()[stf_w1 as usize], stf_w2);
+        assert!(map.is_rep(stf_w2 as usize));
+        // Faults on a and w1 (both polarities) fold into w2's classes;
+        // w2's two faults represent themselves.
+        assert_eq!(map.num_collapsed(), 4);
+        let members = map.members();
+        assert_eq!(members[stf_w2 as usize].len(), 3);
+        for m in &members[stf_w2 as usize] {
+            assert_eq!(map.rep()[*m as usize], stf_w2);
+        }
+    }
+
+    #[test]
+    fn branch_fault_on_buffer_collapses_to_stem_output() {
+        let n = fanout_netlist();
+        let fl = FaultList::full(&n);
+        let map = fl.collapse(&n);
+        // Gate 1 is Buf(y) -> z1; its branch fault is equivalent to the
+        // stem fault on z1 with unchanged polarity (z1 feeds a flop, so
+        // the walk stops there).
+        let pin = index_of(
+            &fl,
+            TransitionFault::new(
+                FaultSite::Pin {
+                    gate: GateId::new(1),
+                    pin: 0,
+                },
+                Polarity::SlowToRise,
+            ),
+        );
+        // fanout_netlist insertion order: a=0, y=1, z1=2.
+        let z1 = NetId::new(2);
+        let stem = index_of(
+            &fl,
+            TransitionFault::new(FaultSite::Net(z1), Polarity::SlowToRise),
+        );
+        assert_eq!(map.rep()[pin as usize], stem);
+    }
+
+    #[test]
+    fn collapse_map_is_idempotent() {
+        let n = chain_netlist();
+        let fl = FaultList::full(&n);
+        let map = fl.collapse(&n);
+        for (i, &r) in map.rep().iter().enumerate() {
+            assert_eq!(map.rep()[r as usize], r, "rep chain not flattened at {i}");
+        }
     }
 }

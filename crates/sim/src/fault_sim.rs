@@ -9,9 +9,10 @@
 //! not measured, per the paper's low-cost-tester setup).
 
 use crate::loc::{loc_frames_batch, los_frames_batch, BatchFrames};
+use crate::sched::LevelQueue;
 use crate::Polarity;
 use crate::{BatchSim, FaultSite, TransitionFault};
-use scap_netlist::{ClockId, GateId, Netlist};
+use scap_netlist::{ClockId, GateId, NetSource, Netlist};
 use serde::{Deserialize, Serialize};
 
 /// How the second frame of a transition-fault pattern is launched.
@@ -67,6 +68,13 @@ pub struct TransitionFaultSim<'a> {
     net_level: Vec<u32>,
     /// Whether each net is a capture observation point.
     observed: Vec<bool>,
+    /// Whether each net reaches an observed capture point through
+    /// combinational logic (reverse BFS from the observed nets). Faults
+    /// whose effect enters on a net outside this set can never be
+    /// detected and are skipped before launch-checking.
+    observable: Vec<bool>,
+    /// Bucket count for the levelized scheduler (max net level + 1).
+    num_levels: u32,
 }
 
 impl<'a> TransitionFaultSim<'a> {
@@ -89,12 +97,55 @@ impl<'a> TransitionFaultSim<'a> {
                 observed[f.d.index()] = true;
             }
         }
+        // Reverse BFS from the observed capture points through gate
+        // inputs. Forward diff propagation follows exactly the
+        // `fanout_gates` edges, so a fault seeded outside this closure
+        // can never reach an observed net.
+        let mut observable = observed.clone();
+        let mut stack: Vec<u32> = observable
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(i, _)| i as u32)
+            .collect();
+        while let Some(n) = stack.pop() {
+            if let Some(NetSource::Gate(g)) = netlist.net(scap_netlist::NetId::new(n)).source {
+                for &inp in &netlist.gate(g).inputs {
+                    if !observable[inp.index()] {
+                        observable[inp.index()] = true;
+                        stack.push(inp.raw());
+                    }
+                }
+            }
+        }
+        let num_levels = net_level.iter().copied().max().unwrap_or(0) + 1;
         TransitionFaultSim {
             batch,
             active_clock,
             mode,
             net_level,
             observed,
+            observable,
+            num_levels,
+        }
+    }
+
+    /// Whether `fault`'s effect can structurally reach an observed
+    /// capture point of the active clock. Unobservable faults always
+    /// yield an all-zero detect mask; callers may skip simulating them.
+    #[inline]
+    pub fn is_observable(&self, fault: TransitionFault) -> bool {
+        self.observable[self.effect_net(fault)]
+    }
+
+    /// The net where the fault effect enters the fanout cone: the net
+    /// itself for stem faults, the reading gate's output for branch
+    /// faults.
+    #[inline]
+    fn effect_net(&self, fault: TransitionFault) -> usize {
+        match fault.site {
+            FaultSite::Net(n) => n.index(),
+            FaultSite::Pin { gate, .. } => self.batch.netlist().gate(gate).output.index(),
         }
     }
 
@@ -144,7 +195,13 @@ impl<'a> TransitionFaultSim<'a> {
             detect_mask: Vec::with_capacity(faults.len()),
         };
         let mut detections = 0u64;
+        let mut skipped = 0u64;
         for fault in faults {
+            if !self.is_observable(*fault) {
+                skipped += 1;
+                summary.detect_mask.push(0);
+                continue;
+            }
             let mask = self.detect_one(&frames, valid_mask, *fault, scratch);
             detections += u64::from(mask != 0);
             summary.detect_mask.push(mask);
@@ -152,6 +209,7 @@ impl<'a> TransitionFaultSim<'a> {
         scap_obs::counter!("sim.fault_sim_batches").incr();
         scap_obs::counter!("sim.fault_sim_checks").add(faults.len() as u64);
         scap_obs::counter!("sim.fault_detections").add(detections);
+        scap_obs::counter!("sim.faults_skipped_unobservable").add(skipped);
         summary
     }
 
@@ -164,6 +222,9 @@ impl<'a> TransitionFaultSim<'a> {
         scratch: &mut PropagationScratch,
     ) -> u64 {
         let netlist = self.batch.netlist();
+        if !self.observable[self.effect_net(fault)] {
+            return 0;
+        }
         let site_net = fault.site.net(netlist);
         let v1 = frames.frame1[site_net.index()];
         let v2 = frames.frame2[site_net.index()];
@@ -174,6 +235,11 @@ impl<'a> TransitionFaultSim<'a> {
         if launch == 0 {
             return 0;
         }
+        scratch.ensure(
+            netlist.num_nets(),
+            self.num_levels as usize,
+            netlist.num_gates(),
+        );
         scratch.reset();
         let mut detected = 0u64;
         match fault.site {
@@ -247,6 +313,9 @@ impl<'a> TransitionFaultSim<'a> {
         // Re-run the propagation, collecting observed diffs rather than
         // OR-ing them together.
         let netlist = self.batch.netlist();
+        if !self.observable[self.effect_net(fault)] {
+            return Vec::new();
+        }
         let site_net = fault.site.net(netlist);
         let v1 = frames.frame1[site_net.index()];
         let v2 = frames.frame2[site_net.index()];
@@ -257,6 +326,11 @@ impl<'a> TransitionFaultSim<'a> {
         if launch == 0 {
             return Vec::new();
         }
+        scratch.ensure(
+            netlist.num_nets(),
+            self.num_levels as usize,
+            netlist.num_gates(),
+        );
         scratch.reset();
         let mut signature = Vec::new();
         match fault.site {
@@ -319,15 +393,108 @@ impl<'a> TransitionFaultSim<'a> {
             g.raw(),
         )
     }
+
+    /// Reference propagator retained as a differential-testing oracle:
+    /// the original `BinaryHeap<Reverse<(level, gate)>>` + `HashSet`
+    /// propagation that the bucket-queue kernel replaced. Allocates its
+    /// working set per call — use only in tests and cross-checks.
+    pub fn detect_one_reference(
+        &self,
+        frames: &BatchFrames,
+        valid_mask: u64,
+        fault: TransitionFault,
+    ) -> u64 {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashSet};
+        let netlist = self.batch.netlist();
+        let site_net = fault.site.net(netlist);
+        let v1 = frames.frame1[site_net.index()];
+        let v2 = frames.frame2[site_net.index()];
+        let launch = match fault.polarity {
+            Polarity::SlowToRise => !v1 & v2,
+            Polarity::SlowToFall => v1 & !v2,
+        } & valid_mask;
+        if launch == 0 {
+            return 0;
+        }
+        let mut diff = vec![0u64; netlist.num_nets()];
+        let mut queue: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut enqueued: HashSet<u32> = HashSet::new();
+        let enqueue = |queue: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                       enqueued: &mut HashSet<u32>,
+                       key: (u32, u32)| {
+            if enqueued.insert(key.1) {
+                queue.push(Reverse(key));
+            }
+        };
+        let mut detected = 0u64;
+        match fault.site {
+            FaultSite::Net(n) => {
+                diff[n.index()] = launch;
+                if self.observed[n.index()] {
+                    detected |= launch;
+                }
+                for &g in netlist.fanout_gates(n) {
+                    enqueue(&mut queue, &mut enqueued, self.gate_key(g));
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                let g = netlist.gate(gate);
+                let mut ins = [0u64; 4];
+                for (k, &inp) in g.inputs.iter().enumerate() {
+                    ins[k] = frames.frame2[inp.index()];
+                }
+                ins[pin as usize] ^= launch;
+                let faulty = g.kind.eval_word(&ins[..g.inputs.len()]);
+                let d = (faulty ^ frames.frame2[g.output.index()]) & valid_mask;
+                if d == 0 {
+                    return 0;
+                }
+                diff[g.output.index()] = d;
+                if self.observed[g.output.index()] {
+                    detected |= d;
+                }
+                for &succ in netlist.fanout_gates(g.output) {
+                    enqueue(&mut queue, &mut enqueued, self.gate_key(succ));
+                }
+            }
+        }
+        while let Some(Reverse((_, graw))) = queue.pop() {
+            let gate = netlist.gate(GateId::new(graw));
+            let mut ins = [0u64; 4];
+            for (k, &inp) in gate.inputs.iter().enumerate() {
+                ins[k] = frames.frame2[inp.index()] ^ diff[inp.index()];
+            }
+            let faulty = gate.kind.eval_word(&ins[..gate.inputs.len()]);
+            let out = gate.output.index();
+            let d = (faulty ^ frames.frame2[out]) & valid_mask;
+            if d != 0 {
+                diff[out] |= d;
+                if self.observed[out] {
+                    detected |= d;
+                }
+                for &succ in netlist.fanout_gates(gate.output) {
+                    enqueue(&mut queue, &mut enqueued, self.gate_key(succ));
+                }
+            }
+        }
+        detected
+    }
 }
 
 /// Reusable buffers for single-fault propagation.
-#[derive(Debug)]
+///
+/// Diff words are epoch-stamped (`u32` per net) and gates are scheduled
+/// through an epoch-stamped [`LevelQueue`], so starting a new fault check
+/// costs two epoch increments — nothing is cleared proportionally to the
+/// previous cone. Buffers grow lazily to the simulator's netlist, so a
+/// `PropagationScratch::default()` works for any design.
+#[derive(Debug, Default)]
 pub struct PropagationScratch {
     diff: Vec<u64>,
-    dirty: Vec<u32>,
-    queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
-    enqueued: std::collections::HashSet<u32>,
+    diff_stamp: Vec<u32>,
+    epoch: u32,
+    queue: LevelQueue,
 }
 
 impl PropagationScratch {
@@ -335,43 +502,57 @@ impl PropagationScratch {
     pub fn new(num_nets: usize) -> Self {
         PropagationScratch {
             diff: vec![0; num_nets],
-            dirty: Vec::new(),
-            queue: std::collections::BinaryHeap::new(),
-            enqueued: std::collections::HashSet::new(),
+            diff_stamp: vec![0; num_nets],
+            epoch: 0,
+            queue: LevelQueue::new(),
         }
+    }
+
+    fn ensure(&mut self, num_nets: usize, num_levels: usize, num_gates: usize) {
+        if self.diff.len() < num_nets {
+            self.diff.resize(num_nets, 0);
+            self.diff_stamp.resize(num_nets, 0);
+        }
+        self.queue.ensure(num_levels, num_gates);
     }
 
     fn reset(&mut self) {
-        for &i in &self.dirty {
-            self.diff[i as usize] = 0;
+        if self.epoch == u32::MAX {
+            self.diff_stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
         }
-        self.dirty.clear();
-        self.queue.clear();
-        self.enqueued.clear();
+        self.queue.begin();
     }
 
+    #[inline]
     fn seed(&mut self, net: usize, mask: u64) {
-        if self.diff[net] == 0 && mask != 0 {
-            self.dirty.push(net as u32);
+        if self.diff_stamp[net] != self.epoch {
+            self.diff_stamp[net] = self.epoch;
+            self.diff[net] = mask;
+        } else {
+            self.diff[net] |= mask;
         }
-        self.diff[net] |= mask;
     }
 
     #[inline]
     fn diff(&self, net: usize) -> u64 {
-        self.diff[net]
-    }
-
-    fn enqueue(&mut self, key: (u32, u32)) {
-        if self.enqueued.insert(key.1) {
-            self.queue.push(std::cmp::Reverse(key));
+        if self.diff_stamp[net] == self.epoch {
+            self.diff[net]
+        } else {
+            0
         }
     }
 
+    #[inline]
+    fn enqueue(&mut self, key: (u32, u32)) {
+        self.queue.push(key.0, key.1);
+    }
+
+    #[inline]
     fn pop(&mut self) -> Option<GateId> {
-        self.queue
-            .pop()
-            .map(|std::cmp::Reverse((_, g))| GateId::new(g))
+        self.queue.pop().map(GateId::new)
     }
 }
 

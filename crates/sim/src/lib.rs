@@ -42,9 +42,11 @@ mod fault;
 mod fault_sim;
 pub mod loc;
 mod logic_sim;
+mod sched;
 
 pub use batch::BatchSim;
 pub use event::{EventSim, ToggleEvent, ToggleTrace};
-pub use fault::{FaultList, FaultSite, Polarity, TransitionFault};
+pub use fault::{CollapseMap, FaultList, FaultSite, Polarity, TransitionFault};
 pub use fault_sim::{DetectionSummary, LaunchMode, PropagationScratch, TransitionFaultSim};
 pub use logic_sim::{Injection, LogicSim};
+pub use sched::LevelQueue;

@@ -1,0 +1,158 @@
+//! Epoch-stamped levelized bucket scheduler.
+//!
+//! The fault-propagation and ATPG event kernels both need the same
+//! discipline: evaluate each touched gate exactly once, in ascending
+//! level order, restarting from scratch many millions of times per run.
+//! A `BinaryHeap<Reverse<(level, gate)>>` plus a `HashSet` dedup does the
+//! job but pays `O(log n)` per push/pop, hashes every enqueue and clears
+//! both structures on every restart. [`LevelQueue`] replaces that with
+//! one `Vec<u32>` bucket per level and a `u32` epoch stamp per item:
+//! enqueue and pop are O(1), dedup is a single array compare, and a
+//! restart is a single epoch increment — no clearing proportional to the
+//! previous run.
+
+/// A restartable priority queue over `(level, item)` pairs where levels
+/// are small dense integers (logic depth) and items are dense ids
+/// (gates).
+///
+/// Invariant: once popping has drained past level `L`, pushes at levels
+/// `< L` are a caller bug (levelized propagation only ever schedules
+/// strictly deeper successors). Debug builds assert this.
+#[derive(Debug, Default)]
+pub struct LevelQueue {
+    buckets: Vec<Vec<u32>>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Levels whose bucket is non-empty in the current epoch.
+    touched: Vec<u32>,
+    cursor_level: usize,
+    cursor_pos: usize,
+    draining: bool,
+}
+
+impl LevelQueue {
+    /// An empty queue; size it with [`LevelQueue::ensure`].
+    pub fn new() -> Self {
+        LevelQueue::default()
+    }
+
+    /// Grows the queue to cover `num_levels` levels and `num_items` item
+    /// ids. Idempotent and cheap when already large enough.
+    pub fn ensure(&mut self, num_levels: usize, num_items: usize) {
+        if self.buckets.len() < num_levels {
+            self.buckets.resize_with(num_levels, Vec::new);
+        }
+        if self.stamp.len() < num_items {
+            self.stamp.resize(num_items, 0);
+        }
+    }
+
+    /// Starts a new run: conceptually clears the queue in O(touched
+    /// levels) and invalidates all stamps in O(1) by bumping the epoch.
+    pub fn begin(&mut self) {
+        for &lv in &self.touched {
+            self.buckets[lv as usize].clear();
+        }
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wrap: stamps from 4 billion runs ago could alias the
+            // new epoch, so pay one full clear and restart from 1.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.cursor_level = usize::MAX;
+        self.cursor_pos = 0;
+        self.draining = false;
+    }
+
+    /// Enqueues `item` at `level` unless it is already scheduled in this
+    /// run.
+    #[inline]
+    pub fn push(&mut self, level: u32, item: u32) {
+        if self.stamp[item as usize] == self.epoch {
+            return;
+        }
+        self.stamp[item as usize] = self.epoch;
+        let lv = level as usize;
+        debug_assert!(
+            !self.draining || lv >= self.cursor_level,
+            "push at level {lv} below the drain cursor {}",
+            self.cursor_level
+        );
+        let bucket = &mut self.buckets[lv];
+        if bucket.is_empty() {
+            self.touched.push(level);
+        }
+        bucket.push(item);
+        if lv < self.cursor_level {
+            self.cursor_level = lv;
+        }
+    }
+
+    /// Pops the next item in ascending level order (insertion order
+    /// within a level).
+    #[inline]
+    pub fn pop(&mut self) -> Option<u32> {
+        while self.cursor_level < self.buckets.len() {
+            let bucket = &self.buckets[self.cursor_level];
+            if self.cursor_pos < bucket.len() {
+                let item = bucket[self.cursor_pos];
+                self.cursor_pos += 1;
+                self.draining = true;
+                return Some(item);
+            }
+            self.cursor_level += 1;
+            self.cursor_pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_level_order_with_dedup() {
+        let mut q = LevelQueue::new();
+        q.ensure(4, 10);
+        q.begin();
+        q.push(2, 7);
+        q.push(0, 3);
+        q.push(2, 7); // duplicate, dropped
+        q.push(1, 5);
+        assert_eq!(q.pop(), Some(3));
+        q.push(3, 9); // push while draining, deeper level
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn begin_resets_without_clearing_stamps() {
+        let mut q = LevelQueue::new();
+        q.ensure(2, 4);
+        for _ in 0..3 {
+            q.begin();
+            q.push(0, 1);
+            q.push(1, 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn ensure_grows_idempotently() {
+        let mut q = LevelQueue::new();
+        q.ensure(1, 1);
+        q.ensure(8, 16);
+        q.ensure(2, 2); // shrinking request is a no-op
+        q.begin();
+        q.push(7, 15);
+        assert_eq!(q.pop(), Some(15));
+    }
+}

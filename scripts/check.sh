@@ -40,6 +40,18 @@ if [ "$fast" -eq 0 ]; then
     ./target/release/scap lint --scale 0.01 --format json --deny warn | python3 -m json.tool >/dev/null
     echo "lint clean at scales 0.005 and 0.01; JSON output parses."
 
+    echo "== fault-sim kernel smoke (pruning/collapsing/sharding engaged) =="
+    prof=$(./target/release/scap profile --scale 0.004 --metrics)
+    for counter in sim.faults_skipped_unobservable sim.faults_collapsed grade.fault_shards; do
+        val=$(printf '%s\n' "$prof" | awk -v c="$counter" '$1 == c { print $2 }')
+        if [ -z "${val:-}" ] || [ "$val" -eq 0 ]; then
+            echo "expected $counter > 0 in scap profile --metrics output" >&2
+            exit 1
+        fi
+        echo "  $counter = $val"
+    done
+    echo "fault-sim kernel smoke passed."
+
     echo "== scap serve smoke (ephemeral port, loadgen burst, clean drain) =="
     cargo build --offline --release -q -p scap-serve
     serve_log=$(mktemp)
@@ -76,7 +88,11 @@ PY
     echo "== BENCH_evaluation.json is strict JSON =="
     if [ -f BENCH_evaluation.json ]; then
         python3 -m json.tool BENCH_evaluation.json >/dev/null
-        echo "BENCH_evaluation.json parses."
+        grep -q fault_sim_checks_per_sec BENCH_evaluation.json || {
+            echo "BENCH_evaluation.json lacks per-stage fault_sim_checks_per_sec" >&2
+            exit 1
+        }
+        echo "BENCH_evaluation.json parses and carries fault-sim throughput."
     else
         echo "BENCH_evaluation.json not present; skipping."
     fi
