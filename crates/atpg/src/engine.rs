@@ -22,8 +22,8 @@
 //! decision.
 
 use scap_dft::TestPattern;
-use scap_netlist::{CellKind, ClockId, GateId, Logic, NetId, NetSource, Netlist};
-use scap_sim::{loc, FaultSite, LaunchMode, LevelQueue, LogicSim, TransitionFault};
+use scap_netlist::{CellKind, ClockId, Logic, NetId, NetSource, Netlist};
+use scap_sim::{loc, FaultSite, LaunchMode, LevelQueue, LogicSim, SimTable, TransitionFault};
 
 /// Outcome of one PODEM run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +88,11 @@ pub struct PodemScratch {
     /// Cone membership stamps (valid where == `cone_epoch`).
     cone_net: Vec<u32>,
     cone_gate: Vec<u32>,
+    /// Nets read by at least one cone gate (side inputs and internal
+    /// nets). Good-plane changes elsewhere can never affect the faulty
+    /// overlay, so the incremental update skips them without scanning
+    /// their fanout.
+    cone_side: Vec<u32>,
     cone_epoch: u32,
     /// Cone gates in (level, id) topological order, for the faulty-plane
     /// sweep.
@@ -104,6 +109,20 @@ pub struct PodemScratch {
     xepoch: u32,
     xstack: Vec<u32>,
     work: Vec<u32>,
+    /// Undo log of plane writes since search entry, one packed word per
+    /// write (see [`trail_entry`]). Backtracking restores from it
+    /// instead of re-simulating the X-wipe of retracted decisions, and
+    /// the per-resync segments double as the changed-net lists: entries
+    /// `[m1..m2)` are exactly the frame-1 nets the resync changed (each
+    /// net is written once per level-ordered drain), `[m2..m3)` the
+    /// good-plane ones.
+    trail: Vec<u32>,
+    /// D-frontier output nets of the current objective scan.
+    frontier: Vec<u32>,
+    /// Pattern snapshot taken at search entry, restored when the search
+    /// fails (avoids a heap-allocating clone per targeted fault).
+    check_load: Vec<Logic>,
+    check_pi: Vec<Logic>,
     /// Identity of the engine the planes were built for.
     owner: Option<(usize, usize, u32, LaunchMode)>,
 }
@@ -126,11 +145,11 @@ fn fv(s: &PodemScratch, i: usize) -> Logic {
     }
 }
 
-/// Seeds the fanout gates of `net` into the event queue.
+/// Seeds the fanout gates of net `n` (raw id) into the event queue.
 #[inline]
-fn seed_fanout(netlist: &Netlist, gate_level: &[u32], queue: &mut LevelQueue, net: NetId) {
-    for &g in netlist.fanout_gates(net) {
-        queue.push(gate_level[g.index()], g.raw());
+fn seed_fanout(t: &SimTable, queue: &mut LevelQueue, n: usize) {
+    for &g in t.fanout(n) {
+        queue.push(t.gate_level(g as usize), g);
     }
 }
 
@@ -138,24 +157,61 @@ fn seed_fanout(netlist: &Netlist, gate_level: &[u32], queue: &mut LevelQueue, ne
 /// scheduled gate and schedules its fanout when the output changed.
 /// Levelized order guarantees each gate sees final input values, so the
 /// result equals a full levelized pass over the same inputs.
-fn drain_events(
-    netlist: &Netlist,
-    gate_level: &[u32],
-    queue: &mut LevelQueue,
-    plane: &mut [Logic],
-) {
-    let mut inbuf = [Logic::X; 4];
+fn drain_events(t: &SimTable, queue: &mut LevelQueue, plane: &mut [Logic]) {
     while let Some(gi) = queue.pop() {
-        let gate = netlist.gate(GateId::new(gi));
-        let n_in = gate.inputs.len();
-        for (k, &inp) in gate.inputs.iter().enumerate() {
-            inbuf[k] = plane[inp.index()];
-        }
-        let out = gate.kind.eval(&inbuf[..n_in]);
-        let o = gate.output.index();
+        let g = gi as usize;
+        let out = t.eval_plane(g, plane);
+        let o = t.output(g) as usize;
         if plane[o] != out {
             plane[o] = out;
-            seed_fanout(netlist, gate_level, queue, gate.output);
+            seed_fanout(t, queue, o);
+        }
+    }
+}
+
+/// Plane tags for the undo trail.
+const TRAIL_FRAME1: u32 = 0 << 30;
+const TRAIL_GOOD2: u32 = 1 << 30;
+const TRAIL_FAULTY2: u32 = 2 << 30;
+/// Net-id bits of a trail entry.
+const TRAIL_NET: u32 = (1 << 24) - 1;
+
+/// Packs one undo-trail word: net id in bits 0..24, the overwritten
+/// value in bits 24..26, the plane tag in bits 30..32.
+#[inline]
+fn trail_entry(net: usize, old: Logic, tag: u32) -> u32 {
+    net as u32 | ((old as u32) << 24) | tag
+}
+
+/// Decodes a 2-bit logic code (the inverse of `Logic as u32`).
+#[inline]
+fn logic_from_code(code: u32) -> Logic {
+    match code & 3 {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        _ => Logic::X,
+    }
+}
+
+/// [`drain_events`], additionally logging every overwritten value on
+/// the undo trail. The trail segment it appends is also the exact
+/// changed-net list of the drain (each net is written at most once per
+/// level-ordered drain, so the segment is duplicate-free).
+fn drain_events_trail(
+    t: &SimTable,
+    queue: &mut LevelQueue,
+    plane: &mut [Logic],
+    trail: &mut Vec<u32>,
+    tag: u32,
+) {
+    while let Some(gi) = queue.pop() {
+        let g = gi as usize;
+        let out = t.eval_plane(g, plane);
+        let o = t.output(g) as usize;
+        if plane[o] != out {
+            trail.push(trail_entry(o, plane[o], tag));
+            plane[o] = out;
+            seed_fanout(t, queue, o);
         }
     }
 }
@@ -164,6 +220,8 @@ fn drain_events(
 #[derive(Debug)]
 pub struct Podem<'a> {
     sim: LogicSim<'a>,
+    /// Flat topology for the hot event-propagation loops.
+    table: SimTable,
     active_clock: ClockId,
     mode: LaunchMode,
     backtrack_limit: u32,
@@ -177,6 +235,22 @@ pub struct Podem<'a> {
     gate_level: Vec<u32>,
     /// Number of distinct gate levels.
     num_levels: u32,
+    /// Q net per flop (raw id): the frame-1 injection point of a load bit.
+    flop_q: Vec<u32>,
+    /// Net per primary input (raw id).
+    pi_net: Vec<u32>,
+    /// CSR over nets: flops whose frame-2 state is `FromD(net)`. Drives
+    /// the incremental frame-2 update from frame-1 changed nets.
+    d_watch_off: Vec<u32>,
+    d_watch: Vec<u32>,
+    /// CSR over load-variable indices: flops whose frame-2 state reads
+    /// `pattern.load[var]` directly (`Hold` / `LoadOf`).
+    l_watch_off: Vec<u32>,
+    l_watch: Vec<u32>,
+    /// Frame-1 / frame-2 good planes for the fully-unspecified pattern.
+    /// Primary targets always start from it, so entry resync is a copy.
+    base_frame1: Vec<Logic>,
+    base_good2: Vec<Logic>,
     /// Observation points: D nets of active-domain flops.
     observed: Vec<NetId>,
     /// Same, as a per-net mask for the X-path check.
@@ -204,6 +278,7 @@ impl<'a> Podem<'a> {
     ) -> Self {
         let sim = LogicSim::new(netlist);
         let lv = sim.levelization();
+        let table = SimTable::build_with(netlist, lv);
         let mut depth = vec![0u32; netlist.num_nets()];
         let mut gate_level = vec![0u32; netlist.num_gates()];
         let mut num_levels = 0u32;
@@ -280,8 +355,61 @@ impl<'a> Podem<'a> {
                 }
             })
             .collect();
+        let flop_q: Vec<u32> = netlist.flops().iter().map(|f| f.q.raw()).collect();
+        let pi_net: Vec<u32> = netlist.primary_inputs().iter().map(|p| p.raw()).collect();
+        let xload = vec![Logic::X; netlist.num_flops()];
+        let xpi = vec![Logic::X; netlist.primary_inputs().len()];
+        let base_frame1 = sim.eval(&xload, &xpi, None);
+        let base_state2 = match mode {
+            LaunchMode::Capture => {
+                loc::next_state_masked(netlist, &xload, &base_frame1, active_clock)
+            }
+            LaunchMode::Shift => loc::shift_state(netlist, &xload, Logic::Zero),
+        };
+        let base_good2 = sim.eval(&base_state2, &xpi, None);
+        // Watch lists for the dirty resync: which flops must recompute
+        // their frame-2 state when a frame-1 net / a load bit changes.
+        let num_flops = netlist.num_flops();
+        let mut d_watch_off = vec![0u32; netlist.num_nets() + 1];
+        let mut l_watch_off = vec![0u32; num_flops + 1];
+        for (i, src) in state2_src.iter().enumerate() {
+            match *src {
+                State2Src::FromD(d) => d_watch_off[d.index() + 1] += 1,
+                State2Src::Hold => l_watch_off[i + 1] += 1,
+                State2Src::LoadOf(j) => l_watch_off[j as usize + 1] += 1,
+                State2Src::ScanIn => {}
+            }
+        }
+        for n in 0..netlist.num_nets() {
+            d_watch_off[n + 1] += d_watch_off[n];
+        }
+        for j in 0..num_flops {
+            l_watch_off[j + 1] += l_watch_off[j];
+        }
+        let mut d_watch = vec![0u32; d_watch_off[netlist.num_nets()] as usize];
+        let mut l_watch = vec![0u32; l_watch_off[num_flops] as usize];
+        let mut d_cur = d_watch_off.clone();
+        let mut l_cur = l_watch_off.clone();
+        for (i, src) in state2_src.iter().enumerate() {
+            match *src {
+                State2Src::FromD(d) => {
+                    d_watch[d_cur[d.index()] as usize] = i as u32;
+                    d_cur[d.index()] += 1;
+                }
+                State2Src::Hold => {
+                    l_watch[l_cur[i] as usize] = i as u32;
+                    l_cur[i] += 1;
+                }
+                State2Src::LoadOf(j) => {
+                    l_watch[l_cur[j as usize] as usize] = i as u32;
+                    l_cur[j as usize] += 1;
+                }
+                State2Src::ScanIn => {}
+            }
+        }
         Podem {
             sim,
+            table,
             active_clock,
             mode,
             backtrack_limit,
@@ -289,6 +417,14 @@ impl<'a> Podem<'a> {
             depth,
             gate_level,
             num_levels,
+            flop_q,
+            pi_net,
+            d_watch_off,
+            d_watch,
+            l_watch_off,
+            l_watch,
+            base_frame1,
+            base_good2,
             observed,
             observed_mask,
             observable,
@@ -339,10 +475,14 @@ impl<'a> Podem<'a> {
             // abort. Classify it without simulating anything.
             return PodemOutcome::Untestable;
         }
-        let checkpoint = pattern.clone();
+        scratch.check_load.clear();
+        scratch.check_load.extend_from_slice(&pattern.load);
+        scratch.check_pi.clear();
+        scratch.check_pi.extend_from_slice(&pattern.pi);
         let outcome = self.search(fault, pattern, scratch);
         if outcome != PodemOutcome::Test {
-            *pattern = checkpoint;
+            pattern.load.copy_from_slice(&scratch.check_load);
+            pattern.pi.copy_from_slice(&scratch.check_pi);
         }
         outcome
     }
@@ -376,6 +516,8 @@ impl<'a> Podem<'a> {
         s.cone_net.resize(netlist.num_nets(), 0);
         s.cone_gate.clear();
         s.cone_gate.resize(netlist.num_gates(), 0);
+        s.cone_side.clear();
+        s.cone_side.resize(netlist.num_nets(), 0);
         s.cone_epoch = 0;
         s.cone_site = None;
         s.xstamp.clear();
@@ -387,52 +529,242 @@ impl<'a> Podem<'a> {
     /// Event-driven resync of `frame1` / `good2` after input bits
     /// changed. The planes themselves are the cache: flop-Q and PI nets
     /// hold exactly the input values they were last synced with, so
-    /// diffing the pattern against them finds every change (decisions
-    /// set one bit; backtracks restore a few to X).
+    /// diffing the pattern against them finds every change. Scans every
+    /// input; used once per search entry, where the previous pattern's
+    /// planes may differ arbitrarily. In-search decisions go through
+    /// [`Podem::resim_dirty`] instead.
     fn sync(&self, pattern: &TestPattern, s: &mut PodemScratch) {
-        let netlist = self.sim.netlist();
+        let t = &self.table;
+        if pattern.load.iter().all(|v| *v == Logic::X) && pattern.pi.iter().all(|v| *v == Logic::X)
+        {
+            // Fully-unspecified pattern (every primary target starts
+            // here): the synced planes are a precomputed constant.
+            s.frame1.copy_from_slice(&self.base_frame1);
+            s.good2.copy_from_slice(&self.base_good2);
+            return;
+        }
         s.queue.begin();
-        for (i, f) in netlist.flops().iter().enumerate() {
+        for (i, &q) in self.flop_q.iter().enumerate() {
             let v = pattern.load[i];
-            let q = f.q.index();
+            let q = q as usize;
             if s.frame1[q] != v {
                 s.frame1[q] = v;
-                seed_fanout(netlist, &self.gate_level, &mut s.queue, f.q);
+                seed_fanout(t, &mut s.queue, q);
             }
         }
-        for (i, &p) in netlist.primary_inputs().iter().enumerate() {
+        for (i, &p) in self.pi_net.iter().enumerate() {
             let v = pattern.pi[i];
-            if s.frame1[p.index()] != v {
-                s.frame1[p.index()] = v;
-                seed_fanout(netlist, &self.gate_level, &mut s.queue, p);
+            let p = p as usize;
+            if s.frame1[p] != v {
+                s.frame1[p] = v;
+                seed_fanout(t, &mut s.queue, p);
             }
         }
-        drain_events(netlist, &self.gate_level, &mut s.queue, &mut s.frame1);
+        drain_events(t, &mut s.queue, &mut s.frame1);
         // Frame 2: recompute each flop's launch state (cheap, O(flops))
         // and diff it against the good plane's Q value; primary inputs
         // are held across both frames.
         s.queue.begin();
-        for (i, f) in netlist.flops().iter().enumerate() {
+        for (i, &q) in self.flop_q.iter().enumerate() {
             let nv = match self.state2_src[i] {
                 State2Src::FromD(d) => s.frame1[d.index()],
                 State2Src::Hold => pattern.load[i],
                 State2Src::LoadOf(j) => pattern.load[j as usize],
                 State2Src::ScanIn => Logic::Zero,
             };
-            let q = f.q.index();
+            let q = q as usize;
             if s.good2[q] != nv {
                 s.good2[q] = nv;
-                seed_fanout(netlist, &self.gate_level, &mut s.queue, f.q);
+                seed_fanout(t, &mut s.queue, q);
             }
         }
-        for (i, &p) in netlist.primary_inputs().iter().enumerate() {
+        for (i, &p) in self.pi_net.iter().enumerate() {
             let v = pattern.pi[i];
-            if s.good2[p.index()] != v {
-                s.good2[p.index()] = v;
-                seed_fanout(netlist, &self.gate_level, &mut s.queue, p);
+            let p = p as usize;
+            if s.good2[p] != v {
+                s.good2[p] = v;
+                seed_fanout(t, &mut s.queue, p);
             }
         }
-        drain_events(netlist, &self.gate_level, &mut s.queue, &mut s.good2);
+        drain_events(t, &mut s.queue, &mut s.good2);
+    }
+
+    /// Resync restricted to the decision variables that actually changed
+    /// (`dirty`): seeds only their nets in frame 1, uses the D/load watch
+    /// lists to find the frame-2 flops affected, and event-propagates
+    /// from there. Produces exactly the planes a full [`Podem::sync`]
+    /// would — both compute the fixpoint of the same input change set —
+    /// but skips the O(flops + PIs) input scan per decision. Finishes by
+    /// updating the faulty cone from the collected good-plane changes.
+    fn resim_dirty(
+        &self,
+        fault: TransitionFault,
+        v_init: Logic,
+        pattern: &TestPattern,
+        s: &mut PodemScratch,
+        dirty: &[Var],
+    ) {
+        let t = &self.table;
+        // Frame 1: only the dirty variables' nets can have changed.
+        s.queue.begin();
+        let m1 = s.trail.len();
+        for &var in dirty {
+            let (net, v) = match var {
+                Var::Load(i) => (self.flop_q[i as usize] as usize, pattern.load[i as usize]),
+                Var::Pi(i) => (self.pi_net[i as usize] as usize, pattern.pi[i as usize]),
+            };
+            if s.frame1[net] != v {
+                s.trail.push(trail_entry(net, s.frame1[net], TRAIL_FRAME1));
+                s.frame1[net] = v;
+                seed_fanout(t, &mut s.queue, net);
+            }
+        }
+        drain_events_trail(t, &mut s.queue, &mut s.frame1, &mut s.trail, TRAIL_FRAME1);
+        // Frame 2 seeds: flops capturing a changed frame-1 D net (read
+        // off the trail segment the frame-1 pass appended), flops reading
+        // a dirty load bit, and dirty PIs (held across frames).
+        s.queue.begin();
+        let m2 = s.trail.len();
+        for idx in m1..m2 {
+            let c = (s.trail[idx] & TRAIL_NET) as usize;
+            let (w0, w1) = (
+                self.d_watch_off[c] as usize,
+                self.d_watch_off[c + 1] as usize,
+            );
+            for w in w0..w1 {
+                let f = self.d_watch[w] as usize;
+                let q = self.flop_q[f] as usize;
+                let nv = s.frame1[c];
+                if s.good2[q] != nv {
+                    s.trail.push(trail_entry(q, s.good2[q], TRAIL_GOOD2));
+                    s.good2[q] = nv;
+                    seed_fanout(t, &mut s.queue, q);
+                }
+            }
+        }
+        for &var in dirty {
+            match var {
+                Var::Load(j) => {
+                    let (w0, w1) = (
+                        self.l_watch_off[j as usize] as usize,
+                        self.l_watch_off[j as usize + 1] as usize,
+                    );
+                    for w in w0..w1 {
+                        let f = self.l_watch[w] as usize;
+                        let nv = match self.state2_src[f] {
+                            State2Src::Hold => pattern.load[f],
+                            State2Src::LoadOf(u) => pattern.load[u as usize],
+                            _ => unreachable!("l_watch only lists Hold/LoadOf flops"),
+                        };
+                        let q = self.flop_q[f] as usize;
+                        if s.good2[q] != nv {
+                            s.trail.push(trail_entry(q, s.good2[q], TRAIL_GOOD2));
+                            s.good2[q] = nv;
+                            seed_fanout(t, &mut s.queue, q);
+                        }
+                    }
+                }
+                Var::Pi(i) => {
+                    let p = self.pi_net[i as usize] as usize;
+                    let v = pattern.pi[i as usize];
+                    if s.good2[p] != v {
+                        s.trail.push(trail_entry(p, s.good2[p], TRAIL_GOOD2));
+                        s.good2[p] = v;
+                        seed_fanout(t, &mut s.queue, p);
+                    }
+                }
+            }
+        }
+        drain_events_trail(t, &mut s.queue, &mut s.good2, &mut s.trail, TRAIL_GOOD2);
+        self.update_faulty(fault, v_init, s, m2);
+    }
+
+    /// Rewinds the undo trail to `mark`, restoring every plane write made
+    /// since. Reverse order makes multiple writes to one net unwind
+    /// correctly.
+    fn restore_trail(s: &mut PodemScratch, mark: usize) {
+        while s.trail.len() > mark {
+            let e = s.trail.pop().expect("trail length checked");
+            let net = (e & TRAIL_NET) as usize;
+            let old = logic_from_code(e >> 24);
+            match e >> 30 {
+                0 => s.frame1[net] = old,
+                1 => s.good2[net] = old,
+                _ => s.faulty2[net] = old,
+            }
+        }
+    }
+
+    /// Event-driven faulty-cone update after `good2` changed on the nets
+    /// recorded in trail segment `[good_from..]`: re-evaluates cone gates
+    /// reading a changed net and propagates within the cone. Equivalent
+    /// to a full [`Podem::rebuild_faulty`] sweep because every cone gate
+    /// whose inputs are unchanged (in both planes) keeps its output, and
+    /// the level-ordered drain computes the same fixpoint for the rest.
+    fn update_faulty(
+        &self,
+        fault: TransitionFault,
+        v_init: Logic,
+        s: &mut PodemScratch,
+        good_from: usize,
+    ) {
+        let t = &self.table;
+        let epoch = s.cone_epoch;
+        // `begin` is deferred until the first seed: most resimulations
+        // change nothing on the cone's input side, and skipping the
+        // restart avoids clearing the previous drain's touched buckets.
+        let mut any = false;
+        let good_end = s.trail.len();
+        for idx in good_from..good_end {
+            let c = (s.trail[idx] & TRAIL_NET) as usize;
+            if s.cone_side[c] != epoch {
+                continue;
+            }
+            for &g in t.fanout(c) {
+                if s.cone_gate[g as usize] == epoch {
+                    if !any {
+                        s.queue.begin();
+                        any = true;
+                    }
+                    s.queue.push(t.gate_level(g as usize), g);
+                }
+            }
+        }
+        if !any {
+            return;
+        }
+        let injected = match fault.site {
+            FaultSite::Pin { gate, pin } => (gate.index(), pin as usize),
+            FaultSite::Net(_) => (usize::MAX, usize::MAX),
+        };
+        while let Some(gi) = s.queue.pop() {
+            let g = gi as usize;
+            let ins = t.inputs(g);
+            let mut code = 0usize;
+            for (k, &inp) in ins.iter().enumerate() {
+                let i = inp as usize;
+                let mut v = if s.cone_net[i] == epoch {
+                    s.faulty2[i]
+                } else {
+                    s.good2[i]
+                };
+                if injected == (g, k) {
+                    v = v_init;
+                }
+                code |= (v as usize) << (2 * k);
+            }
+            let nv = t.eval_coded(g, code);
+            let o = t.output(g) as usize;
+            if s.faulty2[o] != nv {
+                s.trail.push(trail_entry(o, s.faulty2[o], TRAIL_FAULTY2));
+                s.faulty2[o] = nv;
+                for &succ in t.fanout(o) {
+                    if s.cone_gate[succ as usize] == epoch {
+                        s.queue.push(t.gate_level(succ as usize), succ);
+                    }
+                }
+            }
+        }
     }
 
     /// Marks the output cone of `site` and builds the cone gate orders
@@ -445,6 +777,7 @@ impl<'a> Podem<'a> {
         if s.cone_epoch == u32::MAX {
             s.cone_net.fill(0);
             s.cone_gate.fill(0);
+            s.cone_side.fill(0);
             s.cone_epoch = 1;
         } else {
             s.cone_epoch += 1;
@@ -467,17 +800,24 @@ impl<'a> Podem<'a> {
                 s.work.push(out.raw());
             }
         }
+        let t = &self.table;
         while let Some(ni) = s.work.pop() {
-            for &g in netlist.fanout_gates(NetId::new(ni)) {
-                if s.cone_gate[g.index()] != epoch {
-                    s.cone_gate[g.index()] = epoch;
-                    s.cone_topo.push(g.raw());
-                    let out = netlist.gate(g).output;
-                    if s.cone_net[out.index()] != epoch {
-                        s.cone_net[out.index()] = epoch;
-                        s.work.push(out.raw());
+            for &g in t.fanout(ni as usize) {
+                let g = g as usize;
+                if s.cone_gate[g] != epoch {
+                    s.cone_gate[g] = epoch;
+                    s.cone_topo.push(g as u32);
+                    let out = t.output(g) as usize;
+                    if s.cone_net[out] != epoch {
+                        s.cone_net[out] = epoch;
+                        s.work.push(out as u32);
                     }
                 }
+            }
+        }
+        for &g in &s.cone_topo {
+            for &inp in t.inputs(g as usize) {
+                s.cone_side[inp as usize] = epoch;
             }
         }
         s.cone_topo
@@ -499,7 +839,7 @@ impl<'a> Podem<'a> {
     /// outside the cone the faulty machine equals `good2` (which `fv`
     /// reads through to), and inside it every net is rewritten here.
     fn rebuild_faulty(&self, fault: TransitionFault, v_init: Logic, s: &mut PodemScratch) {
-        let netlist = self.sim.netlist();
+        let t = &self.table;
         let epoch = s.cone_epoch;
         if let FaultSite::Net(n) = fault.site {
             // The stem fault forces the net itself; its driver is never
@@ -508,28 +848,27 @@ impl<'a> Podem<'a> {
             s.faulty2[n.index()] = v_init;
         }
         let injected = match fault.site {
-            FaultSite::Pin { gate, pin } => Some((gate, pin as usize)),
-            FaultSite::Net(_) => None,
+            FaultSite::Pin { gate, pin } => (gate.index(), pin as usize),
+            FaultSite::Net(_) => (usize::MAX, usize::MAX),
         };
         let topo = std::mem::take(&mut s.cone_topo);
-        let mut inbuf = [Logic::X; 4];
         for &gi in &topo {
-            let g = GateId::new(gi);
-            let gate = netlist.gate(g);
-            let n_in = gate.inputs.len();
-            for (k, &inp) in gate.inputs.iter().enumerate() {
-                let i = inp.index();
+            let g = gi as usize;
+            let ins = t.inputs(g);
+            let mut code = 0usize;
+            for (k, &inp) in ins.iter().enumerate() {
+                let i = inp as usize;
                 let mut v = if s.cone_net[i] == epoch {
                     s.faulty2[i]
                 } else {
                     s.good2[i]
                 };
-                if injected == Some((g, k)) {
+                if injected == (g, k) {
                     v = v_init;
                 }
-                inbuf[k] = v;
+                code |= (v as usize) << (2 * k);
             }
-            s.faulty2[gate.output.index()] = gate.kind.eval(&inbuf[..n_in]);
+            s.faulty2[t.output(g) as usize] = t.eval_coded(g, code);
         }
         s.cone_topo = topo;
     }
@@ -553,8 +892,13 @@ impl<'a> Podem<'a> {
             self.set_cone(fault.site, s);
         }
         self.rebuild_faulty(fault, v_init, s);
-        // Decision stack: (var, value currently tried, flipped already?).
-        let mut stack: Vec<(Var, Logic, bool)> = Vec::new();
+        s.trail.clear();
+        // Decision stack: (var, value currently tried, flipped already?,
+        // trail mark at decision time).
+        let mut stack: Vec<(Var, Logic, bool, u32)> = Vec::new();
+        // Variables mutated since the last resync; only their cones need
+        // re-simulation.
+        let mut dirty: Vec<Var> = Vec::new();
         let mut backtracks = 0u32;
         let trace = std::env::var_os("PODEM_TRACE").is_some();
         loop {
@@ -573,8 +917,10 @@ impl<'a> Podem<'a> {
                                 eprintln!("  decide {var:?} = {val}");
                             }
                             self.set_var(pattern, var, val);
-                            stack.push((var, val, false));
-                            self.resim(fault, v_init, pattern, s);
+                            stack.push((var, val, false, s.trail.len() as u32));
+                            dirty.clear();
+                            dirty.push(var);
+                            self.resim_dirty(fault, v_init, pattern, s, &dirty);
                         }
                         None => {
                             if trace {
@@ -582,14 +928,16 @@ impl<'a> Podem<'a> {
                             }
                             // No unassigned input reaches the objective —
                             // treat as a conflict.
-                            if !self.backtrack(pattern, &mut stack) {
+                            dirty.clear();
+                            if !self.backtrack(pattern, &mut stack, s, &mut dirty) {
                                 return PodemOutcome::Untestable;
                             }
                             backtracks += 1;
                             if backtracks >= self.backtrack_limit {
+                                Self::restore_trail(s, 0);
                                 return PodemOutcome::Aborted;
                             }
-                            self.resim(fault, v_init, pattern, s);
+                            self.resim_dirty(fault, v_init, pattern, s, &dirty);
                         }
                     }
                 }
@@ -597,30 +945,19 @@ impl<'a> Podem<'a> {
                     if trace {
                         eprintln!("conflict (stack {} bt {backtracks})", stack.len());
                     }
-                    if !self.backtrack(pattern, &mut stack) {
+                    dirty.clear();
+                    if !self.backtrack(pattern, &mut stack, s, &mut dirty) {
                         return PodemOutcome::Untestable;
                     }
                     backtracks += 1;
                     if backtracks >= self.backtrack_limit {
+                        Self::restore_trail(s, 0);
                         return PodemOutcome::Aborted;
                     }
-                    self.resim(fault, v_init, pattern, s);
+                    self.resim_dirty(fault, v_init, pattern, s, &dirty);
                 }
             }
         }
-    }
-
-    /// One decision step's worth of re-simulation: resync the good
-    /// planes from the pattern, then resweep the faulty cone.
-    fn resim(
-        &self,
-        fault: TransitionFault,
-        v_init: Logic,
-        pattern: &TestPattern,
-        s: &mut PodemScratch,
-    ) {
-        self.sync(pattern, s);
-        self.rebuild_faulty(fault, v_init, s);
     }
 
     fn set_var(&self, pattern: &mut TestPattern, var: Var, value: Logic) {
@@ -631,15 +968,27 @@ impl<'a> Podem<'a> {
     }
 
     /// Flips the most recent unflipped decision; pops flipped ones.
-    /// Returns `false` when the stack empties (search exhausted).
-    fn backtrack(&self, pattern: &mut TestPattern, stack: &mut Vec<(Var, Logic, bool)>) -> bool {
-        while let Some((var, val, flipped)) = stack.pop() {
+    /// Returns `false` when the stack empties (search exhausted). Each
+    /// pop rewinds the undo trail to the decision's mark, restoring the
+    /// planes to their exact pre-decision state — no re-simulation of
+    /// retracted assignments. Only the flipped variable is appended to
+    /// `dirty`; the caller resyncs just that one change.
+    fn backtrack(
+        &self,
+        pattern: &mut TestPattern,
+        stack: &mut Vec<(Var, Logic, bool, u32)>,
+        s: &mut PodemScratch,
+        dirty: &mut Vec<Var>,
+    ) -> bool {
+        while let Some((var, val, flipped, mark)) = stack.pop() {
+            Self::restore_trail(s, mark as usize);
             if flipped {
                 self.set_var(pattern, var, Logic::X);
             } else {
                 let nv = !val;
                 self.set_var(pattern, var, nv);
-                stack.push((var, nv, true));
+                stack.push((var, nv, true, mark));
+                dirty.push(var);
                 return true;
             }
         }
@@ -683,40 +1032,41 @@ impl<'a> Podem<'a> {
         // good/faulty input values, so scanning the cone's gates in
         // ascending id order visits exactly the candidates a full scan
         // would, in the same order.
-        let netlist = self.sim.netlist();
+        let t = &self.table;
         let mut best: Option<(u32, NetId, Logic)> = None;
-        let mut frontier_nets: Vec<NetId> = Vec::new();
+        let mut frontier = std::mem::take(&mut s.frontier);
+        frontier.clear();
         // For a branch (pin) fault, the injected gate is on the frontier
         // whenever its output is undetermined: its input *nets* carry no
         // good/faulty difference — the difference is born inside the gate
         // — so the generic scan below would never see it.
         if let FaultSite::Pin { gate, pin } = fault.site {
-            let g = netlist.gate(gate);
-            let out = g.output.index();
+            let g = gate.index();
+            let out = t.output(g) as usize;
             let undetermined = !(s.good2[out].is_known() && s.faulty2[out].is_known());
             if undetermined {
-                if let Some((p, val)) = self.side_objective(s, gate, pin as usize) {
-                    frontier_nets.push(g.output);
-                    best = Some((self.depth[g.inputs[p].index()], g.inputs[p], val));
+                if let Some((p, val)) = self.side_objective(s, g, pin as usize) {
+                    frontier.push(out as u32);
+                    let side = t.inputs(g)[p];
+                    best = Some((self.depth[side as usize], NetId::new(side), val));
                 }
             }
         }
-        for &gi in &s.cone_by_id {
-            let gid = GateId::new(gi);
-            let gate = netlist.gate(gid);
-            let out = gate.output.index();
-            let fout = s.faulty2[out];
-            let out_diff_known = s.good2[out].is_known() && fout.is_known();
+        for idx in 0..s.cone_by_id.len() {
+            let g = s.cone_by_id[idx] as usize;
+            let out = t.output(g) as usize;
+            let out_diff_known = s.good2[out].is_known() && s.faulty2[out].is_known();
             if out_diff_known {
                 // Settled (no difference) or already propagated past.
                 continue;
             }
             // Output X in some plane: is a difference arriving?
             let mut has_diff_input = false;
-            for &inp in &gate.inputs {
-                let g = s.good2[inp.index()];
-                let f = fv(s, inp.index());
-                if g.is_known() && f.is_known() && g != f {
+            for &inp in t.inputs(g) {
+                let i = inp as usize;
+                let gv = s.good2[i];
+                let f = fv(s, i);
+                if gv.is_known() && f.is_known() && gv != f {
                     has_diff_input = true;
                     break;
                 }
@@ -725,19 +1075,21 @@ impl<'a> Podem<'a> {
                 continue;
             }
             // Pick an X side input and its non-controlling value.
-            if let Some((pin, val)) = self.propagation_objective(s, gid) {
-                frontier_nets.push(gate.output);
-                let d = self.depth[gate.inputs[pin].index()];
-                let key = d; // prefer shallow side inputs
+            if let Some((pin, val)) = self.propagation_objective(s, g) {
+                frontier.push(out as u32);
+                let side = t.inputs(g)[pin];
+                let key = self.depth[side as usize]; // prefer shallow side inputs
                 if best.is_none_or(|(bk, _, _)| key < bk) {
-                    best = Some((key, gate.inputs[pin], val));
+                    best = Some((key, NetId::new(side), val));
                 }
             }
         }
         // X-path check: some frontier output must still reach an observed
         // capture point through not-yet-blocked (X) nets, otherwise the
         // current assignments can never detect the fault.
-        if best.is_some() && !self.x_path_exists(s, &frontier_nets) {
+        let no_x_path = best.is_some() && !self.x_path_exists(s, &frontier);
+        s.frontier = frontier;
+        if no_x_path {
             return Objective::Conflict;
         }
         match best {
@@ -748,8 +1100,8 @@ impl<'a> Podem<'a> {
 
     /// Forward reachability from the D-frontier through X-valued nets to
     /// any observation point (the classic PODEM X-path check).
-    fn x_path_exists(&self, s: &mut PodemScratch, frontier_nets: &[NetId]) -> bool {
-        let netlist = self.sim.netlist();
+    fn x_path_exists(&self, s: &mut PodemScratch, frontier_nets: &[u32]) -> bool {
+        let t = &self.table;
         if s.xepoch == u32::MAX {
             s.xstamp.fill(0);
             s.xepoch = 1;
@@ -758,9 +1110,7 @@ impl<'a> Podem<'a> {
         }
         let epoch = s.xepoch;
         s.xstack.clear();
-        for n in frontier_nets {
-            s.xstack.push(n.raw());
-        }
+        s.xstack.extend_from_slice(frontier_nets);
         while let Some(ni) = s.xstack.pop() {
             let i = ni as usize;
             if s.xstamp[i] == epoch {
@@ -770,16 +1120,15 @@ impl<'a> Podem<'a> {
             if self.observed_mask[i] {
                 return true;
             }
-            for &g in netlist.fanout_gates(NetId::new(ni)) {
-                let out = netlist.gate(g).output;
-                let o = out.index();
+            for &g in t.fanout(i) {
+                let o = t.output(g as usize) as usize;
                 // Follow only nets whose value is still undecided in at
                 // least one plane (a known-equal output blocks the path).
                 let gv = s.good2[o];
                 let fvv = fv(s, o);
                 let blocked = gv.is_known() && fvv.is_known() && gv == fvv;
                 if !blocked && s.xstamp[o] != epoch {
-                    s.xstack.push(out.raw());
+                    s.xstack.push(o as u32);
                 }
             }
         }
@@ -788,42 +1137,36 @@ impl<'a> Podem<'a> {
 
     /// For a D-frontier gate, returns `(pin index, value)` of an
     /// unassigned side input to set non-controlling.
-    fn propagation_objective(&self, s: &PodemScratch, g: GateId) -> Option<(usize, Logic)> {
-        let netlist = self.sim.netlist();
-        let gate = netlist.gate(g);
-        let diff_pin = gate.inputs.iter().position(|inp| {
-            let gv = s.good2[inp.index()];
-            let fvv = fv(s, inp.index());
+    fn propagation_objective(&self, s: &PodemScratch, g: usize) -> Option<(usize, Logic)> {
+        let diff_pin = self.table.inputs(g).iter().position(|&inp| {
+            let gv = s.good2[inp as usize];
+            let fvv = fv(s, inp as usize);
             gv.is_known() && fvv.is_known() && gv != fvv
         })?;
         self.side_objective(s, g, diff_pin)
     }
 
     /// Side-input objective for a frontier gate whose difference arrives
-    /// on `diff_pin`: pick an X side input and its non-controlling value.
+    /// on `diff_pin`: pick the first X side input and its non-controlling
+    /// value.
     fn side_objective(
         &self,
         s: &PodemScratch,
-        g: GateId,
+        g: usize,
         diff_pin: usize,
     ) -> Option<(usize, Logic)> {
-        let netlist = self.sim.netlist();
-        let gate = netlist.gate(g);
-        let x_pins: Vec<usize> = gate
-            .inputs
-            .iter()
-            .enumerate()
-            .filter(|&(i, inp)| {
-                i != diff_pin
-                    && (s.good2[inp.index()] == Logic::X || fv(s, inp.index()) == Logic::X)
-            })
-            .map(|(i, _)| i)
-            .collect();
-        if x_pins.is_empty() {
-            return None;
+        let t = &self.table;
+        let mut pin = None;
+        for (i, &inp) in t.inputs(g).iter().enumerate() {
+            if i != diff_pin
+                && (s.good2[inp as usize] == Logic::X || fv(s, inp as usize) == Logic::X)
+            {
+                pin = Some(i);
+                break;
+            }
         }
-        let pin = x_pins[0];
-        let value = match gate.kind {
+        let pin = pin?;
+        let value = match t.kind(g) {
             CellKind::Buf | CellKind::Inv => return None, // single input, no side
             CellKind::And2 | CellKind::And3 | CellKind::Nand2 | CellKind::Nand3 => Logic::One,
             CellKind::Or2 | CellKind::Or3 | CellKind::Nor2 | CellKind::Nor3 => Logic::Zero,
@@ -843,7 +1186,7 @@ impl<'a> Podem<'a> {
                 // (1 for AOI's AND pair, 0 for OAI's OR pair); the other
                 // product must be fully non-controlling (0 / 1).
                 let same_product = (pin / 2) == (diff_pin / 2);
-                match (gate.kind, same_product) {
+                match (t.kind(g), same_product) {
                     (CellKind::Aoi22, true) => Logic::One,
                     (CellKind::Aoi22, false) => Logic::Zero,
                     (CellKind::Oai22, true) => Logic::Zero,
@@ -905,7 +1248,7 @@ impl<'a> Podem<'a> {
                         Frame::One => &s.frame1,
                         Frame::Two => &s.good2,
                     };
-                    let (next, nval) = self.choose_input(plane, g, value)?;
+                    let (next, nval) = self.choose_input(plane, g.index(), value)?;
                     net = next;
                     value = nval;
                 }
@@ -917,60 +1260,60 @@ impl<'a> Podem<'a> {
 
     /// Chooses which X input of `g` to pursue to justify `out = value`,
     /// returning the input net and its target value.
-    fn choose_input(&self, plane: &[Logic], g: GateId, value: Logic) -> Option<(NetId, Logic)> {
-        let netlist = self.sim.netlist();
-        let gate = netlist.gate(g);
-        let x_inputs: Vec<NetId> = gate
-            .inputs
-            .iter()
-            .copied()
-            .filter(|inp| plane[inp.index()] == Logic::X)
-            .collect();
-        if x_inputs.is_empty() {
+    fn choose_input(&self, plane: &[Logic], g: usize, value: Logic) -> Option<(NetId, Logic)> {
+        let t = &self.table;
+        let ins = t.inputs(g);
+        let mut xbuf = [0u32; 4];
+        let mut xn = 0usize;
+        for &inp in ins {
+            if plane[inp as usize] == Logic::X {
+                xbuf[xn] = inp;
+                xn += 1;
+            }
+        }
+        if xn == 0 {
             return None;
         }
-        let easiest = |nets: &[NetId]| {
+        let x_inputs = &xbuf[..xn];
+        // `min_by_key` keeps the first minimum and `max_by_key` the last
+        // maximum; the backtrace heuristic's tie-breaks depend on it.
+        let easiest = |nets: &[u32]| {
             nets.iter()
                 .copied()
-                .min_by_key(|n| self.depth[n.index()])
+                .min_by_key(|&n| self.depth[n as usize])
                 .expect("non-empty")
         };
-        let hardest = |nets: &[NetId]| {
+        let hardest = |nets: &[u32]| {
             nets.iter()
                 .copied()
-                .max_by_key(|n| self.depth[n.index()])
+                .max_by_key(|&n| self.depth[n as usize])
                 .expect("non-empty")
         };
         let v = value;
-        Some(match gate.kind {
+        let (net, val) = match t.kind(g) {
             CellKind::Buf => (x_inputs[0], v),
             CellKind::Inv => (x_inputs[0], !v),
             CellKind::And2 | CellKind::And3 => match v {
-                Logic::One => (hardest(&x_inputs), Logic::One),
-                _ => (easiest(&x_inputs), Logic::Zero),
+                Logic::One => (hardest(x_inputs), Logic::One),
+                _ => (easiest(x_inputs), Logic::Zero),
             },
             CellKind::Nand2 | CellKind::Nand3 => match v {
-                Logic::Zero => (hardest(&x_inputs), Logic::One),
-                _ => (easiest(&x_inputs), Logic::Zero),
+                Logic::Zero => (hardest(x_inputs), Logic::One),
+                _ => (easiest(x_inputs), Logic::Zero),
             },
             CellKind::Or2 | CellKind::Or3 => match v {
-                Logic::Zero => (hardest(&x_inputs), Logic::Zero),
-                _ => (easiest(&x_inputs), Logic::One),
+                Logic::Zero => (hardest(x_inputs), Logic::Zero),
+                _ => (easiest(x_inputs), Logic::One),
             },
             CellKind::Nor2 | CellKind::Nor3 => match v {
-                Logic::One => (hardest(&x_inputs), Logic::Zero),
-                _ => (easiest(&x_inputs), Logic::One),
+                Logic::One => (hardest(x_inputs), Logic::Zero),
+                _ => (easiest(x_inputs), Logic::One),
             },
             CellKind::Xor2 | CellKind::Xnor2 => {
-                let chosen = easiest(&x_inputs);
-                let other = gate
-                    .inputs
-                    .iter()
-                    .copied()
-                    .find(|&n| n != chosen)
-                    .unwrap_or(chosen);
-                let other_v = plane[other.index()].to_bool().unwrap_or(false);
-                let want = match gate.kind {
+                let chosen = easiest(x_inputs);
+                let other = ins.iter().copied().find(|&n| n != chosen).unwrap_or(chosen);
+                let other_v = plane[other as usize].to_bool().unwrap_or(false);
+                let want = match t.kind(g) {
                     CellKind::Xor2 => v ^ Logic::from_bool(other_v),
                     _ => !(v ^ Logic::from_bool(other_v)),
                 };
@@ -980,22 +1323,22 @@ impl<'a> Podem<'a> {
                 // Every branch below must return an X net, or backtrace
                 // would wander into a determined cone and report a false
                 // conflict (breaking PODEM's completeness).
-                let sel = gate.inputs[0];
-                let a = gate.inputs[1];
-                let c = gate.inputs[2];
-                match plane[sel.index()] {
+                let sel = ins[0];
+                let a = ins[1];
+                let c = ins[2];
+                match plane[sel as usize] {
                     Logic::Zero => (a, v),
                     Logic::One => (c, v),
                     Logic::X => {
                         // Prefer steering the select toward a data input
                         // that already equals the target.
-                        if plane[a.index()] == v {
+                        if plane[a as usize] == v {
                             (sel, Logic::Zero)
-                        } else if plane[c.index()] == v {
+                        } else if plane[c as usize] == v {
                             (sel, Logic::One)
-                        } else if plane[a.index()] == Logic::X {
+                        } else if plane[a as usize] == Logic::X {
                             (a, v)
-                        } else if plane[c.index()] == Logic::X {
+                        } else if plane[c as usize] == Logic::X {
                             (c, v)
                         } else {
                             // Both data inputs known and wrong: decide the
@@ -1009,7 +1352,7 @@ impl<'a> Podem<'a> {
                 // Heuristic: to raise an AOI output, drive an X input of a
                 // not-yet-0 product to 0; to lower it, drive an X input to
                 // 1 (dually for OAI).
-                let inverting_low = match gate.kind {
+                let inverting_low = match t.kind(g) {
                     CellKind::Aoi22 => Logic::Zero,
                     _ => Logic::One,
                 };
@@ -1018,9 +1361,10 @@ impl<'a> Podem<'a> {
                 } else {
                     !inverting_low
                 };
-                (easiest(&x_inputs), target)
+                (easiest(x_inputs), target)
             }
-        })
+        };
+        Some((NetId::new(net), val))
     }
 }
 

@@ -5,9 +5,12 @@ use crate::{Podem, PodemOutcome, PodemScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scap_dft::{FillPolicy, PatternBatch, PatternSet, TestPattern};
+use scap_exec::{shard_ranges, Executor};
 use scap_netlist::{ClockId, Netlist};
 use scap_sim::{FaultList, LaunchMode, PropagationScratch, TransitionFault, TransitionFaultSim};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// ATPG knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -139,6 +142,7 @@ pub struct Generator<'a> {
     podem: Podem<'a>,
     fault_sim: TransitionFaultSim<'a>,
     config: AtpgConfig,
+    exec: Executor,
 }
 
 impl<'a> Generator<'a> {
@@ -149,6 +153,7 @@ impl<'a> Generator<'a> {
             podem: Podem::with_mode(netlist, active_clock, config.mode, config.backtrack_limit),
             fault_sim: TransitionFaultSim::with_mode(netlist, active_clock, config.mode),
             config,
+            exec: Executor::new(),
         }
     }
 
@@ -182,7 +187,14 @@ impl<'a> Generator<'a> {
         // so statuses evolve exactly as with per-fault simulation.
         let collapse = faults.collapse(self.netlist);
         let rep = collapse.rep();
-        let mut scratch = PropagationScratch::default();
+        // One propagation scratch per worker for the whole run; workers
+        // claim distinct slots per round, so buffers stay warm across
+        // patterns instead of being reallocated
+        // (the scratch is epoch-stamped — reuse cannot leak state).
+        let scratch_pool: Vec<Mutex<PropagationScratch>> = (0..self.exec.threads().max(1))
+            .map(|_| Mutex::new(PropagationScratch::default()))
+            .collect();
+        let next_scratch = AtomicUsize::new(0);
         // One simulation scratch for every PODEM call in the run: the
         // engine resyncs it incrementally instead of re-simulating the
         // whole netlist three times per decision.
@@ -254,18 +266,12 @@ impl<'a> Generator<'a> {
                     rep_targets.push(list[r]);
                 }
             }
-            let summary = self.fault_sim.detect_batch_with_scratch(
-                &batch.load_words,
-                &batch.pi_words,
-                batch.valid_mask,
-                &rep_targets,
-                &mut scratch,
-            );
+            let detect_mask = self.drop_sim(&batch, &rep_targets, &scratch_pool, &next_scratch);
             for (i, s) in status.iter_mut().enumerate() {
                 if matches!(s, FaultStatus::Detected) {
                     continue;
                 }
-                if summary.detect_mask[slot_of[rep[i] as usize] as usize] != 0 {
+                if detect_mask[slot_of[rep[i] as usize] as usize] != 0 {
                     *s = FaultStatus::Detected;
                     detected_total += 1;
                 }
@@ -282,6 +288,57 @@ impl<'a> Generator<'a> {
             coverage_curve,
             uncollapsed_total: faults.uncollapsed_count(),
         }
+    }
+
+    /// PPSFP drop simulation of one filled pattern: evaluates the launch
+    /// frames once, then fans the target faults across the executor's
+    /// workers in contiguous shards. Every fault's detect mask is an
+    /// independent function of the frames and lands at the fault's own
+    /// slot, so the result is bit-identical at every thread count (a
+    /// one-worker executor degenerates to the serial loop).
+    fn drop_sim(
+        &self,
+        batch: &PatternBatch,
+        targets: &[TransitionFault],
+        scratch_pool: &[Mutex<PropagationScratch>],
+        next_scratch: &AtomicUsize,
+    ) -> Vec<u64> {
+        let frames = self.fault_sim.frames(&batch.load_words, &batch.pi_words);
+        scap_obs::counter!("sim.block_evals").incr();
+        scap_obs::counter!("sim.patterns_per_block").add(batch.valid_mask.count_ones() as u64);
+        let shards = shard_ranges(targets.len(), self.exec.threads());
+        let masks: Vec<Vec<u64>> = self.exec.parallel_map_with(
+            // Each worker locks a distinct pool slot: at most
+            // `scratch_pool.len()` workers run per call, so consecutive
+            // claims (mod pool size) never collide within a call.
+            || {
+                let slot = next_scratch.fetch_add(1, Ordering::Relaxed) % scratch_pool.len();
+                scratch_pool[slot].lock().expect("scratch pool poisoned")
+            },
+            &shards,
+            |scratch, range| {
+                let mut out = Vec::with_capacity(range.len());
+                let mut detections = 0u64;
+                let mut skipped = 0u64;
+                for &fault in &targets[range.clone()] {
+                    let mask = if self.fault_sim.is_observable(fault) {
+                        self.fault_sim
+                            .detect_one(&frames, batch.valid_mask, fault, scratch)
+                    } else {
+                        skipped += 1;
+                        0
+                    };
+                    detections += u64::from(mask != 0);
+                    out.push(mask);
+                }
+                scap_obs::counter!("sim.fault_detections").add(detections);
+                scap_obs::counter!("sim.faults_skipped_unobservable").add(skipped);
+                out
+            },
+        );
+        scap_obs::counter!("sim.fault_sim_batches").incr();
+        scap_obs::counter!("sim.fault_sim_checks").add(targets.len() as u64);
+        masks.concat()
     }
 }
 

@@ -193,7 +193,20 @@ fn profile(args: &Args) -> ExitCode {
         println!("threshold x{f}: {above} patterns above");
     }
     if args.has("metrics") {
-        println!("\n{}", scap_obs::render(&scap_obs::snapshot()));
+        let snap = scap_obs::snapshot();
+        println!("\n{}", scap_obs::render(&snap));
+        // Lane utilization of the word-packed fault-sim kernel: how full
+        // the 64-pattern blocks actually were (ATPG drop-simulation runs
+        // one-lane blocks; grading runs full ones).
+        if let (Some(blocks), Some(patterns)) = (
+            snap.counter("sim.block_evals").filter(|&b| b > 0),
+            snap.counter("sim.patterns_per_block"),
+        ) {
+            println!(
+                "block kernel utilization: {:.1}% ({patterns} patterns over {blocks} blocks of 64 lanes)",
+                patterns as f64 / (64 * blocks) as f64 * 100.0
+            );
+        }
     }
     ExitCode::SUCCESS
 }

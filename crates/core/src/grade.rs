@@ -7,8 +7,7 @@
 use scap_dft::PatternSet;
 use scap_exec::{shard_ranges, Executor};
 use scap_netlist::{ClockId, Netlist};
-use scap_sim::loc::BatchFrames;
-use scap_sim::{CollapseMap, FaultList, PropagationScratch, TransitionFaultSim};
+use scap_sim::{CollapseMap, FaultList, PatternBlock, PropagationScratch, TransitionFaultSim};
 
 /// Result of grading a pattern set.
 #[derive(Clone, Debug)]
@@ -37,15 +36,14 @@ impl GradeResult {
     }
 }
 
-/// Launch frames of one batch, precomputed once per round.
+/// Word planes of one batch, transposed once per round.
 struct RoundBatch {
     start: usize,
-    frames: BatchFrames,
-    valid_mask: u64,
+    block: PatternBlock,
 }
 
-/// Computes the round's launch frames, one batch per worker.
-fn round_frames(
+/// Builds the round's pattern blocks, one batch per worker.
+fn round_blocks(
     exec: &Executor,
     sim: &TransitionFaultSim<'_>,
     round: &[(usize, scap_dft::PatternBatch)],
@@ -53,8 +51,7 @@ fn round_frames(
     scap_obs::counter!("sim.fault_sim_batches").add(round.len() as u64);
     exec.parallel_map(round, |(start, batch)| RoundBatch {
         start: *start,
-        frames: sim.frames(&batch.load_words, &batch.pi_words),
-        valid_mask: batch.valid_mask,
+        block: sim.block_from_words(&batch.load_words, &batch.pi_words, batch.valid_mask),
     })
 }
 
@@ -104,7 +101,7 @@ pub fn grade_patterns(
         }
         scap_obs::counter!("grade.rounds").incr();
         scap_obs::counter!("grade.fault_sim_targets").add(remaining.len() as u64);
-        let frames = round_frames(&exec, &sim, round);
+        let blocks = round_blocks(&exec, &sim, round);
         let shards = shard_ranges(remaining.len(), threads);
         scap_obs::counter!("grade.fault_shards").add(shards.len() as u64);
         let credited: Vec<Vec<(u32, u32)>> = exec.parallel_map_with(
@@ -116,9 +113,9 @@ pub fn grade_patterns(
                 for &fi in &remaining[range.clone()] {
                     let fault = list[fi as usize];
                     let mut best = u32::MAX;
-                    for rb in &frames {
+                    for rb in &blocks {
                         checks += 1;
-                        let mask = sim.detect_one(&rb.frames, rb.valid_mask, fault, scratch);
+                        let mask = sim.detect_block(&rb.block, fault, scratch);
                         if mask != 0 {
                             best = best.min(rb.start as u32 + mask.trailing_zeros());
                         }
@@ -194,7 +191,7 @@ pub fn compact_patterns(
             break;
         }
         scap_obs::counter!("compact.rounds").incr();
-        let frames = round_frames(&exec, &sim, round);
+        let blocks = round_blocks(&exec, &sim, round);
         let shards = shard_ranges(remaining.len(), threads);
         scap_obs::counter!("grade.fault_shards").add(shards.len() as u64);
         let credited: Vec<Vec<(u32, u32)>> = exec.parallel_map_with(
@@ -206,9 +203,9 @@ pub fn compact_patterns(
                 for &fi in &remaining[range.clone()] {
                     let fault = list[fi as usize];
                     let mut best: Option<u32> = None;
-                    for rb in &frames {
+                    for rb in &blocks {
                         checks += 1;
-                        let mask = sim.detect_one(&rb.frames, rb.valid_mask, fault, scratch);
+                        let mask = sim.detect_block(&rb.block, fault, scratch);
                         if mask != 0 {
                             let p = rb.start as u32 + (63 - mask.leading_zeros());
                             best = Some(best.map_or(p, |b| b.max(p)));

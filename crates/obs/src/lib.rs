@@ -63,6 +63,11 @@
 //!   observability prune rejected without simulating;
 //!   `sim.faults_collapsed` counts faults folded into an equivalence-class
 //!   representative; `sim.fault_detections` counts set bits credited.
+//!   The word-packed (PPSFP) kernel adds `sim.block_evals`, the number of
+//!   64-lane pattern blocks built (each graded against many faults), and
+//!   `sim.patterns_per_block`, the total real patterns across those
+//!   blocks — `patterns_per_block / (64 * block_evals)` is the lane
+//!   utilization `scap profile --metrics` reports.
 //! * `grade.*` — pattern grading. `grade.fault_shards` counts the
 //!   fault-parallel shards the grade/compact loops dispatched;
 //!   `grade.faults_dropped`/`grade.fault_sim_targets` size the shrinking

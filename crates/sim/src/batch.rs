@@ -5,6 +5,7 @@
 //! the situation after the ATPG fill step — where the heavy fault-dropping
 //! simulation happens.
 
+use crate::table::SimTable;
 use scap_netlist::{Levelization, NetSource, Netlist};
 
 /// Bit-parallel levelized simulator.
@@ -32,6 +33,7 @@ use scap_netlist::{Levelization, NetSource, Netlist};
 pub struct BatchSim<'a> {
     netlist: &'a Netlist,
     levelization: Levelization,
+    table: SimTable,
 }
 
 impl<'a> BatchSim<'a> {
@@ -52,9 +54,11 @@ impl<'a> BatchSim<'a> {
                 .all(|w| levelization.level(w[0]) <= levelization.level(w[1])),
             "levelization order must be monotone in level"
         );
+        let table = SimTable::build_with(netlist, &levelization);
         BatchSim {
             netlist,
             levelization,
+            table,
         }
     }
 
@@ -66,6 +70,12 @@ impl<'a> BatchSim<'a> {
     /// Shares the levelization with callers (fault simulation reuses it).
     pub fn levelization(&self) -> &Levelization {
         &self.levelization
+    }
+
+    /// Shares the flattened topology with callers (fault simulation and
+    /// the block kernel reuse it).
+    pub fn table(&self) -> &SimTable {
+        &self.table
     }
 
     /// Evaluates all nets for up to 64 patterns at once.
@@ -99,14 +109,15 @@ impl<'a> BatchSim<'a> {
     /// Re-evaluates all gates in place over an existing value vector
     /// (inputs must already be set).
     pub fn propagate(&self, values: &mut [u64]) {
-        let n = self.netlist;
+        let t = &self.table;
         let mut inbuf = [0u64; 4];
-        for &g in self.levelization.order() {
-            let gate = n.gate(g);
-            for (k, &inp) in gate.inputs.iter().enumerate() {
-                inbuf[k] = values[inp.index()];
+        for &g in t.order() {
+            let g = g as usize;
+            let ins = t.inputs(g);
+            for (k, &inp) in ins.iter().enumerate() {
+                inbuf[k] = values[inp as usize];
             }
-            values[gate.output.index()] = gate.kind.eval_word(&inbuf[..gate.inputs.len()]);
+            values[t.output(g) as usize] = t.kind(g).eval_word(&inbuf[..ins.len()]);
         }
     }
 

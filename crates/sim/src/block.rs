@@ -1,0 +1,562 @@
+//! Word-packed two-frame pattern blocks: the PPSFP front end.
+//!
+//! A [`PatternBlock`] transposes up to 64 load/PI vectors into per-net
+//! `u64` initial/final planes. Each three-valued [`Logic`] value is
+//! encoded as two bits across a *value plane* and a *care plane*:
+//!
+//! | `Logic` | value bit | care bit |
+//! |---------|-----------|----------|
+//! | `Zero`  | 0         | 1        |
+//! | `One`   | 1         | 1        |
+//! | `X`     | 0         | 0        |
+//!
+//! The encoding is canonical (the value bit is 0 wherever care is 0),
+//! so plane equality is word equality. One bitwise gate evaluation
+//! ([`eval_word3`]) computes all 64 patterns' three-valued outputs at
+//! once, matching [`CellKind::eval`] lane for lane.
+//!
+//! Fully-specified blocks (every load/PI bit known on every valid lane,
+//! the situation after ATPG fill) are flagged at build time: their care
+//! planes are constant `valid_mask`, and the detection kernel
+//! ([`TransitionFaultSim::detect_block`]) skips all care-plane work on
+//! them, degenerating to exactly the two-valued diff propagation of
+//! [`TransitionFaultSim::detect_one`].
+
+use crate::fault_sim::PropagationScratch;
+use crate::loc::shift_state_words;
+use crate::{FaultSite, LaunchMode, Polarity, TransitionFault, TransitionFaultSim};
+use scap_netlist::{CellKind, Logic, NetSource};
+
+/// A (value, care) word pair: 64 three-valued lanes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Vc {
+    /// Value bits (meaningful only where `care` is set).
+    pub v: u64,
+    /// Care bits (0 = the lane is X).
+    pub c: u64,
+}
+
+impl Vc {
+    /// All lanes X.
+    pub const X: Vc = Vc { v: 0, c: 0 };
+
+    /// All lanes the known value `b`.
+    #[inline]
+    pub fn splat(b: bool) -> Vc {
+        Vc {
+            v: if b { !0 } else { 0 },
+            c: !0,
+        }
+    }
+
+    /// The [`Logic`] value of one lane.
+    #[inline]
+    pub fn lane(self, p: usize) -> Logic {
+        if self.c >> p & 1 == 0 {
+            Logic::X
+        } else if self.v >> p & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+#[inline]
+fn w_not(a: Vc) -> Vc {
+    Vc {
+        v: !a.v & a.c,
+        c: a.c,
+    }
+}
+
+#[inline]
+fn w_and(a: Vc, b: Vc) -> Vc {
+    // Kleene AND: known 0 dominates, 1 needs both known 1.
+    let one = a.v & b.v;
+    let zero = (a.c & !a.v) | (b.c & !b.v);
+    Vc {
+        v: one,
+        c: one | zero,
+    }
+}
+
+#[inline]
+fn w_or(a: Vc, b: Vc) -> Vc {
+    let one = a.v | b.v;
+    let zero = a.c & !a.v & b.c & !b.v;
+    Vc {
+        v: one,
+        c: one | zero,
+    }
+}
+
+#[inline]
+fn w_xor(a: Vc, b: Vc) -> Vc {
+    let c = a.c & b.c;
+    Vc {
+        v: (a.v ^ b.v) & c,
+        c,
+    }
+}
+
+#[inline]
+fn w_mux(s: Vc, a: Vc, b: Vc) -> Vc {
+    let sel0 = s.c & !s.v;
+    let sel1 = s.c & s.v;
+    // Unknown select: the output is known only where both data lanes are
+    // known and equal (matching `CellKind::eval`).
+    let eq = a.c & b.c & !(a.v ^ b.v);
+    let c = (sel0 & a.c) | (sel1 & b.c) | (!s.c & eq);
+    let v = ((sel0 & a.v) | (sel1 & b.v) | (!s.c & eq & a.v)) & c;
+    Vc { v, c }
+}
+
+/// Evaluates a cell over 64 three-valued lanes at once, lane-equivalent
+/// to [`CellKind::eval`].
+#[inline]
+pub fn eval_word3(kind: CellKind, ins: &[Vc]) -> Vc {
+    debug_assert_eq!(ins.len(), kind.num_inputs());
+    match kind {
+        CellKind::Buf => ins[0],
+        CellKind::Inv => w_not(ins[0]),
+        CellKind::And2 => w_and(ins[0], ins[1]),
+        CellKind::And3 => w_and(w_and(ins[0], ins[1]), ins[2]),
+        CellKind::Nand2 => w_not(w_and(ins[0], ins[1])),
+        CellKind::Nand3 => w_not(w_and(w_and(ins[0], ins[1]), ins[2])),
+        CellKind::Or2 => w_or(ins[0], ins[1]),
+        CellKind::Or3 => w_or(w_or(ins[0], ins[1]), ins[2]),
+        CellKind::Nor2 => w_not(w_or(ins[0], ins[1])),
+        CellKind::Nor3 => w_not(w_or(w_or(ins[0], ins[1]), ins[2])),
+        CellKind::Xor2 => w_xor(ins[0], ins[1]),
+        CellKind::Xnor2 => w_not(w_xor(ins[0], ins[1])),
+        CellKind::Mux2 => w_mux(ins[0], ins[1], ins[2]),
+        CellKind::Aoi22 => w_not(w_or(w_and(ins[0], ins[1]), w_and(ins[2], ins[3]))),
+        CellKind::Oai22 => w_not(w_and(w_or(ins[0], ins[1]), w_or(ins[2], ins[3]))),
+    }
+}
+
+/// Transposes up to 64 `Logic` vectors (lane = vector index) into
+/// per-position (value, care) planes.
+///
+/// # Panics
+///
+/// Panics if more than 64 vectors are given or their lengths differ.
+pub fn pack_logic<L: AsRef<[Logic]>>(vectors: &[L]) -> (Vec<u64>, Vec<u64>) {
+    assert!(vectors.len() <= 64, "a block holds at most 64 patterns");
+    let width = vectors.first().map_or(0, |v| v.as_ref().len());
+    let mut val = vec![0u64; width];
+    let mut care = vec![0u64; width];
+    for (p, vec) in vectors.iter().enumerate() {
+        let vec = vec.as_ref();
+        assert_eq!(vec.len(), width, "inconsistent vector width");
+        for (i, &l) in vec.iter().enumerate() {
+            match l {
+                Logic::One => {
+                    val[i] |= 1 << p;
+                    care[i] |= 1 << p;
+                }
+                Logic::Zero => care[i] |= 1 << p,
+                Logic::X => {}
+            }
+        }
+    }
+    (val, care)
+}
+
+/// Untransposes one lane of (value, care) planes back to a `Logic`
+/// vector — the inverse of [`pack_logic`] for that lane.
+pub fn unpack_lane(val: &[u64], care: &[u64], lane: usize) -> Vec<Logic> {
+    val.iter()
+        .zip(care)
+        .map(|(&v, &c)| Vc { v, c }.lane(lane))
+        .collect()
+}
+
+/// Up to 64 two-frame patterns, transposed into per-net word planes.
+///
+/// Built by [`TransitionFaultSim::block_from_words`] (fully-specified
+/// loads, care ≡ `valid_mask`) or
+/// [`TransitionFaultSim::block_from_logic`] (three-valued loads).
+/// Lanes at and above `count` are *stale*: their plane bits are
+/// meaningless and every detection kernel masks them out through
+/// `valid_mask`.
+#[derive(Clone, Debug)]
+pub struct PatternBlock {
+    /// Number of real patterns in the block.
+    pub count: usize,
+    /// One bit per real pattern.
+    pub valid_mask: u64,
+    /// Frame-1 (initial) value plane, one word per net.
+    pub val1: Vec<u64>,
+    /// Frame-1 care plane.
+    pub care1: Vec<u64>,
+    /// Frame-2 (final) value plane.
+    pub val2: Vec<u64>,
+    /// Frame-2 care plane.
+    pub care2: Vec<u64>,
+    /// Every net known on every valid lane (care planes ≡ `valid_mask`);
+    /// detection then runs the two-valued fast path.
+    pub fully_specified: bool,
+}
+
+impl<'a> TransitionFaultSim<'a> {
+    /// Builds a [`PatternBlock`] from up to 64 fully-specified packed
+    /// patterns (one load bit per flop, one PI bit per input, lane =
+    /// pattern). The care planes are constant `valid_mask`.
+    pub fn block_from_words(&self, load: &[u64], pi: &[u64], valid_mask: u64) -> PatternBlock {
+        let frames = self.frames(load, pi);
+        let num_nets = self.batch_sim().netlist().num_nets();
+        let count = valid_mask.count_ones() as usize;
+        scap_obs::counter!("sim.block_evals").incr();
+        scap_obs::counter!("sim.patterns_per_block").add(count as u64);
+        PatternBlock {
+            count,
+            valid_mask,
+            val1: frames.frame1,
+            care1: vec![valid_mask; num_nets],
+            val2: frames.frame2,
+            care2: vec![valid_mask; num_nets],
+            fully_specified: true,
+        }
+    }
+
+    /// Builds a [`PatternBlock`] from up to 64 three-valued patterns
+    /// (`loads[p]` = scan load of pattern `p`, `pis[p]` = its held PI
+    /// values). X bits stay X through both frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are given, the slices disagree in
+    /// length, or the vectors don't match the netlist.
+    pub fn block_from_logic<L: AsRef<[Logic]>, P: AsRef<[Logic]>>(
+        &self,
+        loads: &[L],
+        pis: &[P],
+    ) -> PatternBlock {
+        assert_eq!(loads.len(), pis.len(), "one PI vector per load vector");
+        let netlist = self.batch_sim().netlist();
+        let count = loads.len();
+        let valid_mask = if count == 64 { !0 } else { (1u64 << count) - 1 };
+        let (load_v, load_c) = pack_logic(loads);
+        let (pi_v, pi_c) = pack_logic(pis);
+        assert_eq!(load_v.len(), netlist.num_flops(), "one load bit per flop");
+        assert_eq!(pi_v.len(), netlist.primary_inputs().len(), "one bit per PI");
+        let (val1, care1) = self.eval_plane3(&load_v, &load_c, &pi_v, &pi_c);
+        let (st_v, st_c) = match self.launch_mode() {
+            LaunchMode::Capture => {
+                let active = self.active_clock();
+                let mut st_v = Vec::with_capacity(load_v.len());
+                let mut st_c = Vec::with_capacity(load_v.len());
+                for (i, f) in netlist.flops().iter().enumerate() {
+                    if f.clock == active {
+                        st_v.push(val1[f.d.index()]);
+                        st_c.push(care1[f.d.index()]);
+                    } else {
+                        st_v.push(load_v[i]);
+                        st_c.push(load_c[i]);
+                    }
+                }
+                (st_v, st_c)
+            }
+            LaunchMode::Shift => (
+                shift_state_words(netlist, &load_v, 0),
+                shift_state_words(netlist, &load_c, !0),
+            ),
+        };
+        let (val2, care2) = self.eval_plane3(&st_v, &st_c, &pi_v, &pi_c);
+        let fully_specified = load_c
+            .iter()
+            .chain(&pi_c)
+            .all(|&c| c & valid_mask == valid_mask);
+        scap_obs::counter!("sim.block_evals").incr();
+        scap_obs::counter!("sim.patterns_per_block").add(count as u64);
+        PatternBlock {
+            count,
+            valid_mask,
+            val1,
+            care1,
+            val2,
+            care2,
+            fully_specified,
+        }
+    }
+
+    /// One levelized three-valued word pass: sources from the given flop
+    /// / PI planes (constants known), gates via [`eval_word3`].
+    fn eval_plane3(
+        &self,
+        flop_v: &[u64],
+        flop_c: &[u64],
+        pi_v: &[u64],
+        pi_c: &[u64],
+    ) -> (Vec<u64>, Vec<u64>) {
+        let netlist = self.batch_sim().netlist();
+        let t = self.batch_sim().table();
+        let mut val = vec![0u64; t.num_nets()];
+        let mut care = vec![0u64; t.num_nets()];
+        for (i, &net) in netlist.primary_inputs().iter().enumerate() {
+            val[net.index()] = pi_v[i];
+            care[net.index()] = pi_c[i];
+        }
+        for (i, flop) in netlist.flops().iter().enumerate() {
+            val[flop.q.index()] = flop_v[i];
+            care[flop.q.index()] = flop_c[i];
+        }
+        for (i, net) in netlist.nets().iter().enumerate() {
+            if let Some(NetSource::Const(c)) = net.source {
+                let w = Vc::splat(c);
+                val[i] = w.v;
+                care[i] = w.c;
+            }
+        }
+        let mut inbuf = [Vc::X; 4];
+        for &g in t.order() {
+            let g = g as usize;
+            let ins = t.inputs(g);
+            for (k, &inp) in ins.iter().enumerate() {
+                inbuf[k] = Vc {
+                    v: val[inp as usize],
+                    c: care[inp as usize],
+                };
+            }
+            let out = eval_word3(t.kind(g), &inbuf[..ins.len()]);
+            let o = t.output(g) as usize;
+            val[o] = out.v;
+            care[o] = out.c;
+        }
+        (val, care)
+    }
+
+    /// Detection mask of one fault against a pattern block: which valid
+    /// lanes launch the transition at the site *and* propagate the
+    /// frame-2 stuck-at difference to an observed capture point.
+    ///
+    /// On fully-specified blocks this runs the exact two-valued word
+    /// propagation of [`TransitionFaultSim::detect_one`]; on three-valued
+    /// blocks the fault-cone overlay carries a (value, care) pair per net
+    /// and a lane detects only where good and faulty are both known and
+    /// differ.
+    pub fn detect_block(
+        &self,
+        block: &PatternBlock,
+        fault: TransitionFault,
+        scratch: &mut PropagationScratch,
+    ) -> u64 {
+        if !self.is_observable(fault) {
+            return 0;
+        }
+        let site = fault.site.net(self.batch_sim().netlist()).index();
+        let f1 = Vc {
+            v: block.val1[site],
+            c: block.care1[site],
+        };
+        let f2 = Vc {
+            v: block.val2[site],
+            c: block.care2[site],
+        };
+        let launch = match fault.polarity {
+            Polarity::SlowToRise => (f1.c & !f1.v) & (f2.v),
+            Polarity::SlowToFall => (f1.v) & (f2.c & !f2.v),
+        } & block.valid_mask;
+        if launch == 0 {
+            return 0;
+        }
+        if block.fully_specified {
+            // Care planes are constant `valid_mask`, so three-valued
+            // propagation degenerates to the two-valued diff kernel —
+            // run exactly `detect_one`'s word loop.
+            return self.propagate_diff(
+                &block.val2,
+                block.valid_mask,
+                fault,
+                launch,
+                scratch,
+                |_, _| {},
+            );
+        }
+        self.propagate_diff3(block, fault, launch, scratch)
+    }
+
+    /// Three-valued overlay propagation: per cone net, the faulty plane
+    /// is tracked as (value-diff, care-diff) words against the good
+    /// frame-2 planes; zero diffs prune exactly like the two-valued
+    /// kernel.
+    fn propagate_diff3(
+        &self,
+        block: &PatternBlock,
+        fault: TransitionFault,
+        launch: u64,
+        scratch: &mut PropagationScratch,
+    ) -> u64 {
+        let t = self.batch_sim().table();
+        let valid = block.valid_mask;
+        let gv = &block.val2;
+        let gc = &block.care2;
+        scratch.ensure3(t.num_nets(), self.num_levels() as usize, t.num_gates());
+        scratch.reset();
+        let v_init = Vc::splat(fault.polarity.initial_value());
+        let mut detected = 0u64;
+        let injected = match fault.site {
+            FaultSite::Pin { gate, pin } => Some((gate.index(), pin as usize)),
+            FaultSite::Net(_) => None,
+        };
+        match fault.site {
+            FaultSite::Net(n) => {
+                let ni = n.index();
+                // Faulty site: stuck at the initial value on launched
+                // lanes, the good value elsewhere.
+                // (dv, dc) are launch-masked by construction, and the
+                // launch mask is valid-masked already.
+                let dv = (gv[ni] ^ v_init.v) & launch;
+                let dc = !gc[ni] & launch;
+                scratch.seed3(ni, dv, dc);
+                if self.observed_net(ni) {
+                    detected |= gc[ni] & (gc[ni] ^ dc) & dv & launch;
+                }
+                for &g in t.fanout(ni) {
+                    scratch.queue.push(t.gate_level(g as usize) + 1, g);
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                let g = gate.index();
+                let gins = t.inputs(g);
+                let mut ins = [Vc::X; 4];
+                for (k, &inp) in gins.iter().enumerate() {
+                    ins[k] = Vc {
+                        v: gv[inp as usize],
+                        c: gc[inp as usize],
+                    };
+                }
+                let p = pin as usize;
+                ins[p] = Vc {
+                    v: (ins[p].v & !launch) | (v_init.v & launch),
+                    c: ins[p].c | launch,
+                };
+                let fout = eval_word3(t.kind(g), &ins[..gins.len()]);
+                let out = t.output(g) as usize;
+                let dv = (fout.v ^ gv[out]) & valid;
+                let dc = (fout.c ^ gc[out]) & valid;
+                if dv | dc == 0 {
+                    return 0;
+                }
+                scratch.seed3(out, dv, dc);
+                if self.observed_net(out) {
+                    detected |= gc[out] & fout.c & dv & launch;
+                }
+                for &succ in t.fanout(out) {
+                    scratch.queue.push(t.gate_level(succ as usize) + 1, succ);
+                }
+            }
+        }
+        while let Some(g) = scratch.queue.pop() {
+            let g = g as usize;
+            let gins = t.inputs(g);
+            let mut ins = [Vc::X; 4];
+            for (k, &inp) in gins.iter().enumerate() {
+                let i = inp as usize;
+                let (dv, dc) = scratch.diff3(i);
+                ins[k] = Vc {
+                    v: gv[i] ^ dv,
+                    c: gc[i] ^ dc,
+                };
+            }
+            if let Some((ig, p)) = injected {
+                if ig == g {
+                    ins[p] = Vc {
+                        v: (ins[p].v & !launch) | (v_init.v & launch),
+                        c: ins[p].c | launch,
+                    };
+                }
+            }
+            let fout = eval_word3(t.kind(g), &ins[..gins.len()]);
+            let out = t.output(g) as usize;
+            let dv = (fout.v ^ gv[out]) & valid;
+            let dc = (fout.c ^ gc[out]) & valid;
+            if dv | dc != 0 {
+                scratch.seed3(out, dv, dc);
+                if self.observed_net(out) {
+                    detected |= gc[out] & fout.c & dv & launch;
+                }
+                for &succ in t.fanout(out) {
+                    scratch.queue.push(t.gate_level(succ as usize) + 1, succ);
+                }
+            }
+        }
+        detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_netlist::CellKind;
+
+    /// Exhaustive lane-equivalence of `eval_word3` against
+    /// `CellKind::eval` over all 3^n input combinations of every cell.
+    #[test]
+    fn word3_matches_scalar_eval_exhaustively() {
+        const LOGICS: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+        for kind in [
+            CellKind::Buf,
+            CellKind::Inv,
+            CellKind::And2,
+            CellKind::And3,
+            CellKind::Nand2,
+            CellKind::Nand3,
+            CellKind::Or2,
+            CellKind::Or3,
+            CellKind::Nor2,
+            CellKind::Nor3,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Aoi22,
+            CellKind::Oai22,
+        ] {
+            let n = kind.num_inputs();
+            let combos = 3usize.pow(n as u32);
+            // Pack all combos into lanes, 64 at a time.
+            for base in (0..combos).step_by(64) {
+                let lanes = (combos - base).min(64);
+                let mut ins = vec![Vc::X; n];
+                let mut expect = Vec::with_capacity(lanes);
+                for lane in 0..lanes {
+                    let mut combo = base + lane;
+                    let mut scalar = Vec::with_capacity(n);
+                    for ins_k in ins.iter_mut().take(n) {
+                        let l = LOGICS[combo % 3];
+                        combo /= 3;
+                        scalar.push(l);
+                        match l {
+                            Logic::One => {
+                                ins_k.v |= 1 << lane;
+                                ins_k.c |= 1 << lane;
+                            }
+                            Logic::Zero => ins_k.c |= 1 << lane,
+                            Logic::X => {}
+                        }
+                    }
+                    expect.push(kind.eval(&scalar));
+                }
+                let out = eval_word3(kind, &ins);
+                for (lane, &e) in expect.iter().enumerate() {
+                    assert_eq!(out.lane(lane), e, "{kind:?} lane {lane} base {base}");
+                }
+                // Canonical form: value bit clear wherever care is clear.
+                assert_eq!(out.v & !out.c, 0, "{kind:?} non-canonical output");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let a = vec![Logic::One, Logic::X, Logic::Zero];
+        let b = vec![Logic::X, Logic::Zero, Logic::One];
+        let (val, care) = pack_logic(&[&a[..], &b[..]]);
+        assert_eq!(unpack_lane(&val, &care, 0), a);
+        assert_eq!(unpack_lane(&val, &care, 1), b);
+        // Stale lanes read back as X.
+        assert_eq!(unpack_lane(&val, &care, 7), vec![Logic::X; 3]);
+    }
+}

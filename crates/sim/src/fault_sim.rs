@@ -155,6 +155,28 @@ impl<'a> TransitionFaultSim<'a> {
         &self.batch
     }
 
+    /// The configured launch mode.
+    pub fn launch_mode(&self) -> LaunchMode {
+        self.mode
+    }
+
+    /// The active (at-speed) clock domain.
+    pub fn active_clock(&self) -> ClockId {
+        self.active_clock
+    }
+
+    /// Whether net `n` is an observed capture point.
+    #[inline]
+    pub(crate) fn observed_net(&self, n: usize) -> bool {
+        self.observed[n]
+    }
+
+    /// Scheduler bucket count (max net level + 1).
+    #[inline]
+    pub(crate) fn num_levels(&self) -> u32 {
+        self.num_levels
+    }
+
     /// Computes launch frames for a batch of up to 64 fully-specified
     /// loads under the configured mode.
     pub fn frames(&self, load: &[u64], pi: &[u64]) -> BatchFrames {
@@ -182,6 +204,11 @@ impl<'a> TransitionFaultSim<'a> {
     /// Like [`TransitionFaultSim::detect_batch`] but reuses caller-owned
     /// propagation buffers — avoids one diff-vector allocation per batch
     /// when grading many batches (e.g. one scratch per worker thread).
+    ///
+    /// A `valid_mask` with a single bit set (the ATPG drop-simulation
+    /// shape: one candidate pattern against many faults) takes a fast
+    /// path that skips building a [`crate::PatternBlock`], so no care
+    /// planes are allocated or filled for the degenerate one-lane case.
     pub fn detect_batch_with_scratch(
         &self,
         load: &[u64],
@@ -190,21 +217,37 @@ impl<'a> TransitionFaultSim<'a> {
         faults: &[TransitionFault],
         scratch: &mut PropagationScratch,
     ) -> DetectionSummary {
-        let frames = self.frames(load, pi);
         let mut summary = DetectionSummary {
             detect_mask: Vec::with_capacity(faults.len()),
         };
         let mut detections = 0u64;
         let mut skipped = 0u64;
-        for fault in faults {
-            if !self.is_observable(*fault) {
-                skipped += 1;
-                summary.detect_mask.push(0);
-                continue;
+        if valid_mask.count_ones() == 1 {
+            let frames = self.frames(load, pi);
+            scap_obs::counter!("sim.block_evals").incr();
+            scap_obs::counter!("sim.patterns_per_block").incr();
+            for fault in faults {
+                if !self.is_observable(*fault) {
+                    skipped += 1;
+                    summary.detect_mask.push(0);
+                    continue;
+                }
+                let mask = self.detect_one(&frames, valid_mask, *fault, scratch);
+                detections += u64::from(mask != 0);
+                summary.detect_mask.push(mask);
             }
-            let mask = self.detect_one(&frames, valid_mask, *fault, scratch);
-            detections += u64::from(mask != 0);
-            summary.detect_mask.push(mask);
+        } else {
+            let block = self.block_from_words(load, pi, valid_mask);
+            for fault in faults {
+                if !self.is_observable(*fault) {
+                    skipped += 1;
+                    summary.detect_mask.push(0);
+                    continue;
+                }
+                let mask = self.detect_block(&block, *fault, scratch);
+                detections += u64::from(mask != 0);
+                summary.detect_mask.push(mask);
+            }
         }
         scap_obs::counter!("sim.fault_sim_batches").incr();
         scap_obs::counter!("sim.fault_sim_checks").add(faults.len() as u64);
@@ -221,11 +264,10 @@ impl<'a> TransitionFaultSim<'a> {
         fault: TransitionFault,
         scratch: &mut PropagationScratch,
     ) -> u64 {
-        let netlist = self.batch.netlist();
         if !self.observable[self.effect_net(fault)] {
             return 0;
         }
-        let site_net = fault.site.net(netlist);
+        let site_net = fault.site.net(self.batch.netlist());
         let v1 = frames.frame1[site_net.index()];
         let v2 = frames.frame2[site_net.index()];
         let launch = match fault.polarity {
@@ -235,64 +277,93 @@ impl<'a> TransitionFaultSim<'a> {
         if launch == 0 {
             return 0;
         }
-        scratch.ensure(
-            netlist.num_nets(),
-            self.num_levels as usize,
-            netlist.num_gates(),
-        );
+        self.propagate_diff(
+            &frames.frame2,
+            valid_mask,
+            fault,
+            launch,
+            scratch,
+            |_, _| {},
+        )
+    }
+
+    /// Seeds the fault effect and runs the level-ordered word propagation
+    /// shared by [`TransitionFaultSim::detect_one`] and
+    /// [`TransitionFaultSim::signature_one`]; `on_observed` sees each
+    /// observed (net, diff) pair. `good2` is the fault-free frame-2 word
+    /// plane the faulty machine is diffed against.
+    pub(crate) fn propagate_diff(
+        &self,
+        good2: &[u64],
+        valid_mask: u64,
+        fault: TransitionFault,
+        launch: u64,
+        scratch: &mut PropagationScratch,
+        mut on_observed: impl FnMut(u32, u64),
+    ) -> u64 {
+        let t = self.batch.table();
+        scratch.ensure(t.num_nets(), self.num_levels as usize, t.num_gates());
         scratch.reset();
         let mut detected = 0u64;
         match fault.site {
             FaultSite::Net(n) => {
-                scratch.seed(n.index(), launch);
-                if self.observed[n.index()] {
+                let ni = n.index();
+                scratch.seed(ni, launch);
+                if self.observed[ni] {
                     detected |= launch;
+                    on_observed(n.raw(), launch);
                 }
-                for &g in netlist.fanout_gates(n) {
-                    scratch.enqueue(self.gate_key(g));
+                for &g in t.fanout(ni) {
+                    scratch.queue.push(t.gate_level(g as usize) + 1, g);
                 }
             }
             FaultSite::Pin { gate, pin } => {
                 // Flip only this branch: evaluate the gate with the pin's
                 // word complemented on launched bits.
-                let g = netlist.gate(gate);
+                let g = gate.index();
+                let gins = t.inputs(g);
                 let mut ins = [0u64; 4];
-                for (k, &inp) in g.inputs.iter().enumerate() {
-                    ins[k] = frames.frame2[inp.index()];
+                for (k, &inp) in gins.iter().enumerate() {
+                    ins[k] = good2[inp as usize];
                 }
                 ins[pin as usize] ^= launch;
-                let faulty = g.kind.eval_word(&ins[..g.inputs.len()]);
-                let diff = (faulty ^ frames.frame2[g.output.index()]) & valid_mask;
+                let faulty = t.kind(g).eval_word(&ins[..gins.len()]);
+                let out = t.output(g) as usize;
+                let diff = (faulty ^ good2[out]) & valid_mask;
                 if diff == 0 {
                     return 0;
                 }
-                scratch.seed(g.output.index(), diff);
-                if self.observed[g.output.index()] {
+                scratch.seed(out, diff);
+                if self.observed[out] {
                     detected |= diff;
+                    on_observed(out as u32, diff);
                 }
-                for &succ in netlist.fanout_gates(g.output) {
-                    scratch.enqueue(self.gate_key(succ));
+                for &succ in t.fanout(out) {
+                    scratch.queue.push(t.gate_level(succ as usize) + 1, succ);
                 }
             }
         }
         // Level-ordered propagation: each gate is evaluated after all its
         // in-cone predecessors.
-        while let Some(g) = scratch.pop() {
-            let gate = netlist.gate(g);
+        while let Some(g) = scratch.queue.pop() {
+            let g = g as usize;
+            let gins = t.inputs(g);
             let mut ins = [0u64; 4];
-            for (k, &inp) in gate.inputs.iter().enumerate() {
-                ins[k] = frames.frame2[inp.index()] ^ scratch.diff(inp.index());
+            for (k, &inp) in gins.iter().enumerate() {
+                let inp = inp as usize;
+                ins[k] = good2[inp] ^ scratch.diff(inp);
             }
-            let faulty = gate.kind.eval_word(&ins[..gate.inputs.len()]);
-            let out = gate.output.index();
-            let diff = (faulty ^ frames.frame2[out]) & valid_mask;
+            let faulty = t.kind(g).eval_word(&ins[..gins.len()]);
+            let out = t.output(g) as usize;
+            let diff = (faulty ^ good2[out]) & valid_mask;
             if diff != 0 {
                 scratch.seed(out, diff);
                 if self.observed[out] {
                     detected |= diff;
+                    on_observed(out as u32, diff);
                 }
-                for &succ in netlist.fanout_gates(gate.output) {
-                    scratch.enqueue(self.gate_key(succ));
+                for &succ in t.fanout(out) {
+                    scratch.queue.push(t.gate_level(succ as usize) + 1, succ);
                 }
             }
         }
@@ -310,13 +381,12 @@ impl<'a> TransitionFaultSim<'a> {
         fault: TransitionFault,
         scratch: &mut PropagationScratch,
     ) -> Vec<(scap_netlist::NetId, u64)> {
-        // Re-run the propagation, collecting observed diffs rather than
-        // OR-ing them together.
-        let netlist = self.batch.netlist();
+        // Same propagation as `detect_one`, collecting observed diffs
+        // rather than OR-ing them together.
         if !self.observable[self.effect_net(fault)] {
             return Vec::new();
         }
-        let site_net = fault.site.net(netlist);
+        let site_net = fault.site.net(self.batch.netlist());
         let v1 = frames.frame1[site_net.index()];
         let v2 = frames.frame2[site_net.index()];
         let launch = match fault.polarity {
@@ -326,63 +396,15 @@ impl<'a> TransitionFaultSim<'a> {
         if launch == 0 {
             return Vec::new();
         }
-        scratch.ensure(
-            netlist.num_nets(),
-            self.num_levels as usize,
-            netlist.num_gates(),
-        );
-        scratch.reset();
         let mut signature = Vec::new();
-        match fault.site {
-            FaultSite::Net(n) => {
-                scratch.seed(n.index(), launch);
-                if self.observed[n.index()] {
-                    signature.push((n, launch));
-                }
-                for &g in netlist.fanout_gates(n) {
-                    scratch.enqueue(self.gate_key(g));
-                }
-            }
-            FaultSite::Pin { gate, pin } => {
-                let g = netlist.gate(gate);
-                let mut ins = [0u64; 4];
-                for (k, &inp) in g.inputs.iter().enumerate() {
-                    ins[k] = frames.frame2[inp.index()];
-                }
-                ins[pin as usize] ^= launch;
-                let faulty = g.kind.eval_word(&ins[..g.inputs.len()]);
-                let diff = (faulty ^ frames.frame2[g.output.index()]) & valid_mask;
-                if diff == 0 {
-                    return Vec::new();
-                }
-                scratch.seed(g.output.index(), diff);
-                if self.observed[g.output.index()] {
-                    signature.push((g.output, diff));
-                }
-                for &succ in netlist.fanout_gates(g.output) {
-                    scratch.enqueue(self.gate_key(succ));
-                }
-            }
-        }
-        while let Some(g) = scratch.pop() {
-            let gate = netlist.gate(g);
-            let mut ins = [0u64; 4];
-            for (k, &inp) in gate.inputs.iter().enumerate() {
-                ins[k] = frames.frame2[inp.index()] ^ scratch.diff(inp.index());
-            }
-            let faulty = gate.kind.eval_word(&ins[..gate.inputs.len()]);
-            let out = gate.output.index();
-            let diff = (faulty ^ frames.frame2[out]) & valid_mask;
-            if diff != 0 {
-                scratch.seed(out, diff);
-                if self.observed[out] {
-                    signature.push((gate.output, diff));
-                }
-                for &succ in netlist.fanout_gates(gate.output) {
-                    scratch.enqueue(self.gate_key(succ));
-                }
-            }
-        }
+        self.propagate_diff(
+            &frames.frame2,
+            valid_mask,
+            fault,
+            launch,
+            scratch,
+            |net, diff| signature.push((scap_netlist::NetId::new(net), diff)),
+        );
         signature
     }
 
@@ -492,9 +514,13 @@ impl<'a> TransitionFaultSim<'a> {
 #[derive(Debug, Default)]
 pub struct PropagationScratch {
     diff: Vec<u64>,
+    /// Care-plane diff words for the three-valued block kernel; only
+    /// grown by [`PropagationScratch::ensure3`], so purely two-valued
+    /// users never pay for the second plane.
+    diffc: Vec<u64>,
     diff_stamp: Vec<u32>,
     epoch: u32,
-    queue: LevelQueue,
+    pub(crate) queue: LevelQueue,
 }
 
 impl PropagationScratch {
@@ -502,13 +528,14 @@ impl PropagationScratch {
     pub fn new(num_nets: usize) -> Self {
         PropagationScratch {
             diff: vec![0; num_nets],
+            diffc: Vec::new(),
             diff_stamp: vec![0; num_nets],
             epoch: 0,
             queue: LevelQueue::new(),
         }
     }
 
-    fn ensure(&mut self, num_nets: usize, num_levels: usize, num_gates: usize) {
+    pub(crate) fn ensure(&mut self, num_nets: usize, num_levels: usize, num_gates: usize) {
         if self.diff.len() < num_nets {
             self.diff.resize(num_nets, 0);
             self.diff_stamp.resize(num_nets, 0);
@@ -516,7 +543,16 @@ impl PropagationScratch {
         self.queue.ensure(num_levels, num_gates);
     }
 
-    fn reset(&mut self) {
+    /// Like [`PropagationScratch::ensure`] but also sizes the care-diff
+    /// plane used by three-valued block propagation.
+    pub(crate) fn ensure3(&mut self, num_nets: usize, num_levels: usize, num_gates: usize) {
+        self.ensure(num_nets, num_levels, num_gates);
+        if self.diffc.len() < num_nets {
+            self.diffc.resize(num_nets, 0);
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
         if self.epoch == u32::MAX {
             self.diff_stamp.fill(0);
             self.epoch = 1;
@@ -527,7 +563,7 @@ impl PropagationScratch {
     }
 
     #[inline]
-    fn seed(&mut self, net: usize, mask: u64) {
+    pub(crate) fn seed(&mut self, net: usize, mask: u64) {
         if self.diff_stamp[net] != self.epoch {
             self.diff_stamp[net] = self.epoch;
             self.diff[net] = mask;
@@ -537,7 +573,7 @@ impl PropagationScratch {
     }
 
     #[inline]
-    fn diff(&self, net: usize) -> u64 {
+    pub(crate) fn diff(&self, net: usize) -> u64 {
         if self.diff_stamp[net] == self.epoch {
             self.diff[net]
         } else {
@@ -545,14 +581,27 @@ impl PropagationScratch {
         }
     }
 
+    /// Stores a (value-diff, care-diff) pair for `net` this epoch.
     #[inline]
-    fn enqueue(&mut self, key: (u32, u32)) {
-        self.queue.push(key.0, key.1);
+    pub(crate) fn seed3(&mut self, net: usize, dv: u64, dc: u64) {
+        if self.diff_stamp[net] != self.epoch {
+            self.diff_stamp[net] = self.epoch;
+            self.diff[net] = dv;
+            self.diffc[net] = dc;
+        } else {
+            self.diff[net] |= dv;
+            self.diffc[net] |= dc;
+        }
     }
 
+    /// The (value-diff, care-diff) pair of `net` this epoch.
     #[inline]
-    fn pop(&mut self) -> Option<GateId> {
-        self.queue.pop().map(GateId::new)
+    pub(crate) fn diff3(&self, net: usize) -> (u64, u64) {
+        if self.diff_stamp[net] == self.epoch {
+            (self.diff[net], self.diffc[net])
+        } else {
+            (0, 0)
+        }
     }
 }
 

@@ -37,16 +37,20 @@
 #![warn(missing_debug_implementations)]
 
 mod batch;
+mod block;
 mod event;
 mod fault;
 mod fault_sim;
 pub mod loc;
 mod logic_sim;
 mod sched;
+mod table;
 
 pub use batch::BatchSim;
+pub use block::{eval_word3, pack_logic, unpack_lane, PatternBlock, Vc};
 pub use event::{EventSim, ToggleEvent, ToggleTrace};
 pub use fault::{CollapseMap, FaultList, FaultSite, Polarity, TransitionFault};
 pub use fault_sim::{DetectionSummary, LaunchMode, PropagationScratch, TransitionFaultSim};
 pub use logic_sim::{Injection, LogicSim};
 pub use sched::LevelQueue;
+pub use table::SimTable;

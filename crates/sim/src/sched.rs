@@ -28,6 +28,9 @@ pub struct LevelQueue {
     cursor_level: usize,
     cursor_pos: usize,
     draining: bool,
+    /// Scheduled-but-not-popped count; lets the final pop return in O(1)
+    /// instead of scanning every remaining level bucket.
+    remaining: usize,
 }
 
 impl LevelQueue {
@@ -65,6 +68,7 @@ impl LevelQueue {
         self.cursor_level = usize::MAX;
         self.cursor_pos = 0;
         self.draining = false;
+        self.remaining = 0;
     }
 
     /// Enqueues `item` at `level` unless it is already scheduled in this
@@ -86,6 +90,7 @@ impl LevelQueue {
             self.touched.push(level);
         }
         bucket.push(item);
+        self.remaining += 1;
         if lv < self.cursor_level {
             self.cursor_level = lv;
         }
@@ -95,11 +100,15 @@ impl LevelQueue {
     /// within a level).
     #[inline]
     pub fn pop(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
         while self.cursor_level < self.buckets.len() {
             let bucket = &self.buckets[self.cursor_level];
             if self.cursor_pos < bucket.len() {
                 let item = bucket[self.cursor_pos];
                 self.cursor_pos += 1;
+                self.remaining -= 1;
                 self.draining = true;
                 return Some(item);
             }

@@ -40,9 +40,10 @@ if [ "$fast" -eq 0 ]; then
     ./target/release/scap lint --scale 0.01 --format json --deny warn | python3 -m json.tool >/dev/null
     echo "lint clean at scales 0.005 and 0.01; JSON output parses."
 
-    echo "== fault-sim kernel smoke (pruning/collapsing/sharding engaged) =="
+    echo "== fault-sim kernel smoke (pruning/collapsing/sharding/block kernel engaged) =="
     prof=$(./target/release/scap profile --scale 0.004 --metrics)
-    for counter in sim.faults_skipped_unobservable sim.faults_collapsed grade.fault_shards; do
+    for counter in sim.faults_skipped_unobservable sim.faults_collapsed grade.fault_shards \
+        sim.block_evals sim.patterns_per_block; do
         val=$(printf '%s\n' "$prof" | awk -v c="$counter" '$1 == c { print $2 }')
         if [ -z "${val:-}" ] || [ "$val" -eq 0 ]; then
             echo "expected $counter > 0 in scap profile --metrics output" >&2
@@ -50,6 +51,10 @@ if [ "$fast" -eq 0 ]; then
         fi
         echo "  $counter = $val"
     done
+    printf '%s\n' "$prof" | grep -q "block kernel utilization:" || {
+        echo "expected a block kernel utilization line in scap profile --metrics output" >&2
+        exit 1
+    }
     echo "fault-sim kernel smoke passed."
 
     echo "== scap serve smoke (ephemeral port, loadgen burst, clean drain) =="
@@ -87,12 +92,15 @@ PY
 
     echo "== BENCH_evaluation.json is strict JSON =="
     if [ -f BENCH_evaluation.json ]; then
-        python3 -m json.tool BENCH_evaluation.json >/dev/null
-        grep -q fault_sim_checks_per_sec BENCH_evaluation.json || {
-            echo "BENCH_evaluation.json lacks per-stage fault_sim_checks_per_sec" >&2
-            exit 1
-        }
-        echo "BENCH_evaluation.json parses and carries fault-sim throughput."
+        python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_evaluation.json"))
+stages = [s for s in doc["stages"] if "fault_sim_checks_per_sec" in s]
+assert stages, "no stage carries fault_sim_checks_per_sec"
+for s in stages:
+    assert s["fault_sim_checks_per_sec"] > 0, f"zero throughput in {s['name']}"
+PY
+        echo "BENCH_evaluation.json parses; fault-sim throughput carried on every simulating stage."
     else
         echo "BENCH_evaluation.json not present; skipping."
     fi
