@@ -54,8 +54,13 @@ enum Var {
 
 /// Where a flop's frame-2 (launch) state comes from, precomputed per
 /// launch mode so the incremental resync never re-derives chain order.
-#[derive(Clone, Copy, Debug)]
-enum State2Src {
+///
+/// Shared with the SAT engine (`sat_engine`), whose CNF encoding must
+/// alias frame-2 flop variables to exactly the same sources the PODEM
+/// planes read — the two engines agree on two-frame semantics by
+/// construction, not by parallel reimplementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum State2Src {
     /// Launch-off-capture, active domain: captures frame 1's D value.
     FromD(NetId),
     /// Holds its own scan-load value (inactive domain / unstitched).
@@ -64,6 +69,96 @@ enum State2Src {
     LoadOf(u32),
     /// Launch-off-shift chain head: the constant scan-in (0).
     ScanIn,
+}
+
+/// Observation points of one clock domain: the D nets of its capture
+/// flops.
+pub(crate) fn observation_points(netlist: &Netlist, active_clock: ClockId) -> Vec<NetId> {
+    netlist
+        .flops()
+        .iter()
+        .filter(|f| f.clock == active_clock)
+        .map(|f| f.d)
+        .collect()
+}
+
+/// Per-net "can structurally reach an observation point" mask (backward
+/// reachability over gate inputs). Faults whose effect net falls outside
+/// the mask are untestable without any search.
+pub(crate) fn observable_mask(netlist: &Netlist, observed: &[NetId]) -> Vec<bool> {
+    let mut observable = vec![false; netlist.num_nets()];
+    for n in observed {
+        observable[n.index()] = true;
+    }
+    let mut work: Vec<u32> = observed.iter().map(|n| n.raw()).collect();
+    while let Some(ni) = work.pop() {
+        if let Some(NetSource::Gate(g)) = netlist.net(NetId::new(ni)).source {
+            for &inp in &netlist.gate(g).inputs {
+                if !observable[inp.index()] {
+                    observable[inp.index()] = true;
+                    work.push(inp.raw());
+                }
+            }
+        }
+    }
+    observable
+}
+
+/// The upstream scan cell feeding each flop at the launch shift (`None`
+/// at chain heads / unstitched flops), for launch-off-shift.
+pub(crate) fn scan_upstream(netlist: &Netlist) -> Vec<Option<u32>> {
+    let mut by_chain: std::collections::HashMap<u16, Vec<(u32, u32)>> =
+        std::collections::HashMap::new();
+    for (i, f) in netlist.flops().iter().enumerate() {
+        if let Some(role) = f.scan {
+            by_chain
+                .entry(role.chain)
+                .or_default()
+                .push((role.position, i as u32));
+        }
+    }
+    let mut upstream = vec![None; netlist.num_flops()];
+    for chain in by_chain.values_mut() {
+        chain.sort_unstable();
+        for w in chain.windows(2) {
+            upstream[w[1].1 as usize] = Some(w[0].1);
+        }
+    }
+    upstream
+}
+
+/// Frame-2 state source per flop for one launch mode (see
+/// [`State2Src`]).
+pub(crate) fn state2_sources(
+    netlist: &Netlist,
+    active_clock: ClockId,
+    mode: LaunchMode,
+    upstream: &[Option<u32>],
+) -> Vec<State2Src> {
+    netlist
+        .flops()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| match mode {
+            LaunchMode::Capture => {
+                if f.clock == active_clock {
+                    State2Src::FromD(f.d)
+                } else {
+                    State2Src::Hold
+                }
+            }
+            LaunchMode::Shift => {
+                if f.scan.is_some() {
+                    match upstream[i] {
+                        Some(up) => State2Src::LoadOf(up),
+                        None => State2Src::ScanIn,
+                    }
+                } else {
+                    State2Src::Hold
+                }
+            }
+        })
+        .collect()
 }
 
 /// Reusable simulation state for [`Podem::generate_with_scratch`].
@@ -288,12 +383,7 @@ impl<'a> Podem<'a> {
             gate_level[g.index()] = l;
             num_levels = num_levels.max(l + 1);
         }
-        let observed: Vec<NetId> = netlist
-            .flops()
-            .iter()
-            .filter(|f| f.clock == active_clock)
-            .map(|f| f.d)
-            .collect();
+        let observed = observation_points(netlist, active_clock);
         let mut observed_mask = vec![false; netlist.num_nets()];
         for n in &observed {
             observed_mask[n.index()] = true;
@@ -301,60 +391,10 @@ impl<'a> Podem<'a> {
         // Backward reachability from the observation points: a fault
         // whose effect net is outside this set can never produce a
         // good/faulty difference at a capture flop.
-        let mut observable = observed_mask.clone();
-        let mut work: Vec<u32> = observed.iter().map(|n| n.raw()).collect();
-        while let Some(ni) = work.pop() {
-            if let Some(NetSource::Gate(g)) = netlist.net(NetId::new(ni)).source {
-                for &inp in &netlist.gate(g).inputs {
-                    if !observable[inp.index()] {
-                        observable[inp.index()] = true;
-                        work.push(inp.raw());
-                    }
-                }
-            }
-        }
+        let observable = observable_mask(netlist, &observed);
         // Upstream map for launch-off-shift backtracing.
-        let mut by_chain: std::collections::HashMap<u16, Vec<(u32, u32)>> =
-            std::collections::HashMap::new();
-        for (i, f) in netlist.flops().iter().enumerate() {
-            if let Some(role) = f.scan {
-                by_chain
-                    .entry(role.chain)
-                    .or_default()
-                    .push((role.position, i as u32));
-            }
-        }
-        let mut upstream = vec![None; netlist.num_flops()];
-        for chain in by_chain.values_mut() {
-            chain.sort_unstable();
-            for w in chain.windows(2) {
-                upstream[w[1].1 as usize] = Some(w[0].1);
-            }
-        }
-        let state2_src: Vec<State2Src> = netlist
-            .flops()
-            .iter()
-            .enumerate()
-            .map(|(i, f)| match mode {
-                LaunchMode::Capture => {
-                    if f.clock == active_clock {
-                        State2Src::FromD(f.d)
-                    } else {
-                        State2Src::Hold
-                    }
-                }
-                LaunchMode::Shift => {
-                    if f.scan.is_some() {
-                        match upstream[i] {
-                            Some(up) => State2Src::LoadOf(up),
-                            None => State2Src::ScanIn,
-                        }
-                    } else {
-                        State2Src::Hold
-                    }
-                }
-            })
-            .collect();
+        let upstream = scan_upstream(netlist);
+        let state2_src = state2_sources(netlist, active_clock, mode, &upstream);
         let flop_q: Vec<u32> = netlist.flops().iter().map(|f| f.q.raw()).collect();
         let pi_net: Vec<u32> = netlist.primary_inputs().iter().map(|p| p.raw()).collect();
         let xload = vec![Logic::X; netlist.num_flops()];

@@ -1,7 +1,7 @@
 //! The pattern-generation loop: primary targeting, greedy dynamic
 //! compaction, fill and PPSFP fault dropping.
 
-use crate::{Podem, PodemOutcome, PodemScratch};
+use crate::{Podem, PodemOutcome, PodemScratch, SatAtpg, SatOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scap_dft::{FillPolicy, PatternBatch, PatternSet, TestPattern};
@@ -12,6 +12,46 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Which search engine targets primary faults, and whether aborted
+/// searches get a SAT second opinion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Structural PODEM only — the default; aborts stay aborts.
+    #[default]
+    Podem,
+    /// SAT primary targeting ([`SatAtpg`]); dynamic compaction of
+    /// secondary faults still runs PODEM (it merges incrementally into
+    /// a partially-specified pattern, which is PODEM's home turf).
+    Sat,
+    /// PODEM first; only faults PODEM *aborts* on go to SAT, which
+    /// either finds the test or proves them untestable. This is the
+    /// coverage-accounting fix: an abort is not evidence either way,
+    /// and leaving aborted faults in the test-coverage denominator
+    /// silently deflates the reported number.
+    Hybrid,
+}
+
+impl EngineKind {
+    /// Parses a CLI/HTTP value (`podem`, `sat`, `hybrid`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "podem" => Some(EngineKind::Podem),
+            "sat" => Some(EngineKind::Sat),
+            "hybrid" => Some(EngineKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling `parse` accepts.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Podem => "podem",
+            EngineKind::Sat => "sat",
+            EngineKind::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// ATPG knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AtpgConfig {
@@ -19,8 +59,12 @@ pub struct AtpgConfig {
     pub fill: FillPolicy,
     /// Launch mechanism (the paper uses launch-off-capture).
     pub mode: LaunchMode,
+    /// Primary-targeting engine (see [`EngineKind`]).
+    pub engine: EngineKind,
     /// PODEM backtrack limit per fault.
     pub backtrack_limit: u32,
+    /// CDCL conflict budget per SAT solve (`sat`/`hybrid` engines).
+    pub sat_conflict_limit: u64,
     /// Consecutive failed secondary-merge attempts before a pattern is
     /// closed (the greedy compaction cut-off).
     pub secondary_fail_limit: u32,
@@ -37,7 +81,9 @@ impl Default for AtpgConfig {
         AtpgConfig {
             fill: FillPolicy::Random,
             mode: LaunchMode::Capture,
+            engine: EngineKind::Podem,
             backtrack_limit: 100,
+            sat_conflict_limit: 20_000,
             secondary_fail_limit: 8,
             secondary_scan_window: 2000,
             seed: 0xC0FFEE,
@@ -99,8 +145,23 @@ impl AtpgRun {
             .count()
     }
 
-    /// Test coverage: detected / (total − untestable), the figure
+    /// Undetected fault count (excludes aborted faults, which have
+    /// their own bucket).
+    pub fn num_undetected(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| matches!(s, FaultStatus::Undetected))
+            .count()
+    }
+
+    /// Test coverage: `detected / (total − untestable)`, the figure
     /// commercial tools report.
+    ///
+    /// Only *proven* untestable faults leave the denominator. Aborted
+    /// faults stay in it — an abort is not evidence of untestability —
+    /// which is exactly why the hybrid engine's UNSAT reclassification
+    /// raises this number: every abort it proves untestable moves from
+    /// the denominator's dead weight into the `Untestable` bucket.
     pub fn test_coverage(&self) -> f64 {
         let total = self.status.len();
         let testable = total - self.num_untestable();
@@ -110,7 +171,8 @@ impl AtpgRun {
         self.num_detected() as f64 / testable as f64
     }
 
-    /// Fault coverage: detected / total.
+    /// Fault coverage: `detected / total`, over every fault in the
+    /// list — untestable and aborted faults included.
     pub fn fault_coverage(&self) -> f64 {
         if self.status.is_empty() {
             return 0.0;
@@ -135,11 +197,14 @@ impl AtpgRun {
     }
 }
 
-/// Drives [`Podem`] over a fault list.
+/// Drives [`Podem`] (and optionally [`SatAtpg`]) over a fault list.
 #[derive(Debug)]
 pub struct Generator<'a> {
     netlist: &'a Netlist,
     podem: Podem<'a>,
+    /// Built only when the configured engine needs it, so the default
+    /// PODEM path carries no extra state and stays byte-identical.
+    sat: Option<SatAtpg<'a>>,
     fault_sim: TransitionFaultSim<'a>,
     config: AtpgConfig,
     exec: Executor,
@@ -148,9 +213,18 @@ pub struct Generator<'a> {
 impl<'a> Generator<'a> {
     /// Builds a generator for one clock domain.
     pub fn new(netlist: &'a Netlist, active_clock: ClockId, config: AtpgConfig) -> Self {
+        let sat = (config.engine != EngineKind::Podem).then(|| {
+            SatAtpg::new(
+                netlist,
+                active_clock,
+                config.mode,
+                config.sat_conflict_limit,
+            )
+        });
         Generator {
             netlist,
             podem: Podem::with_mode(netlist, active_clock, config.mode, config.backtrack_limit),
+            sat,
             fault_sim: TransitionFaultSim::with_mode(netlist, active_clock, config.mode),
             config,
             exec: Executor::new(),
@@ -202,6 +276,12 @@ impl<'a> Generator<'a> {
         let mut rep_targets: Vec<TransitionFault> = Vec::new();
         let mut rep_ids: Vec<u32> = Vec::new();
         let mut slot_of: Vec<u32> = vec![u32::MAX; list.len()];
+        // Secondary-merge abort counter per fault. The backtrack budget
+        // is constant within a run, so two aborts at it are two aborts
+        // "at the same budget": further merge attempts are suppressed
+        // (they burn the full budget and nearly always abort again).
+        let mut secondary_aborts: Vec<u8> = vec![0; list.len()];
+        const SECONDARY_ABORT_CAP: u8 = 2;
         for idx in 0..list.len() {
             if patterns.len() >= self.config.max_patterns {
                 break;
@@ -210,10 +290,20 @@ impl<'a> Generator<'a> {
                 continue;
             }
             let mut pattern = TestPattern::unspecified(self.netlist);
-            let primary = {
-                let _span = scap_obs::span!("atpg.podem_primary");
-                self.podem
-                    .generate_with_scratch(list[idx], &mut pattern, &mut podem_scratch)
+            let primary = match self.config.engine {
+                EngineKind::Podem | EngineKind::Hybrid => {
+                    let _span = scap_obs::span!("atpg.podem_primary");
+                    self.podem
+                        .generate_with_scratch(list[idx], &mut pattern, &mut podem_scratch)
+                }
+                EngineKind::Sat => {
+                    let sat = self.sat.as_ref().expect("sat engine built for engine=sat");
+                    match sat.generate(list[idx], &mut pattern) {
+                        SatOutcome::Test => PodemOutcome::Test,
+                        SatOutcome::Untestable => PodemOutcome::Untestable,
+                        SatOutcome::Unknown => PodemOutcome::Aborted,
+                    }
+                }
             };
             match primary {
                 PodemOutcome::Untestable => {
@@ -221,8 +311,30 @@ impl<'a> Generator<'a> {
                     continue;
                 }
                 PodemOutcome::Aborted => {
-                    status[idx] = FaultStatus::Aborted;
-                    continue;
+                    if self.config.engine == EngineKind::Hybrid {
+                        // A PODEM abort proves nothing. Ask the SAT
+                        // engine for a verdict: UNSAT is a proof of
+                        // untestability (the fault leaves the coverage
+                        // denominator), a model is a test PODEM missed.
+                        let sat = self.sat.as_ref().expect("sat engine built for hybrid");
+                        match sat.generate(list[idx], &mut pattern) {
+                            SatOutcome::Test => {
+                                scap_obs::counter!("atpg.sat_rescued_tests").incr();
+                            }
+                            SatOutcome::Untestable => {
+                                scap_obs::counter!("atpg.reclassified_untestable").incr();
+                                status[idx] = FaultStatus::Untestable;
+                                continue;
+                            }
+                            SatOutcome::Unknown => {
+                                status[idx] = FaultStatus::Aborted;
+                                continue;
+                            }
+                        }
+                    } else {
+                        status[idx] = FaultStatus::Aborted;
+                        continue;
+                    }
                 }
                 PodemOutcome::Test => {}
             }
@@ -239,6 +351,15 @@ impl<'a> Generator<'a> {
                 if status[jdx] != FaultStatus::Undetected {
                     continue;
                 }
+                if secondary_aborts[jdx] >= SECONDARY_ABORT_CAP {
+                    // Suppressed: treat the would-be attempt exactly as
+                    // an abort (same loop accounting) without paying
+                    // the backtrack budget again.
+                    scanned += 1;
+                    fails += 1;
+                    scap_obs::counter!("atpg.aborts_suppressed").incr();
+                    continue;
+                }
                 scanned += 1;
                 let _span = scap_obs::span!("atpg.podem_secondary");
                 match self
@@ -246,7 +367,11 @@ impl<'a> Generator<'a> {
                     .generate_with_scratch(f2, &mut pattern, &mut podem_scratch)
                 {
                     PodemOutcome::Test => fails = 0,
-                    _ => fails += 1,
+                    PodemOutcome::Aborted => {
+                        secondary_aborts[jdx] = secondary_aborts[jdx].saturating_add(1);
+                        fails += 1;
+                    }
+                    PodemOutcome::Untestable => fails += 1,
                 }
             }
             let filled = pattern.fill(self.netlist, self.config.fill, &mut rng);
@@ -466,6 +591,142 @@ mod tests {
             new_patterns <= still_undetected.max(1),
             "{new_patterns} new patterns for {still_undetected} leftovers"
         );
+    }
+
+    /// Pins the coverage formulas over every [`FaultStatus`]:
+    /// test coverage = detected / (total − untestable) — aborted and
+    /// undetected faults stay in the denominator — and fault coverage
+    /// = detected / total.
+    #[test]
+    fn coverage_formulas_are_pinned_for_all_statuses() {
+        let mk = |status: Vec<FaultStatus>| AtpgRun {
+            patterns: PatternSet::new(),
+            status,
+            coverage_curve: Vec::new(),
+            uncollapsed_total: 0,
+        };
+        let run = mk(vec![
+            FaultStatus::Detected,
+            FaultStatus::Undetected,
+            FaultStatus::Untestable,
+            FaultStatus::Aborted,
+        ]);
+        assert_eq!(run.num_detected(), 1);
+        assert_eq!(run.num_undetected(), 1);
+        assert_eq!(run.num_untestable(), 1);
+        assert_eq!(run.num_aborted(), 1);
+        // 1 detected over (4 − 1 untestable) = 3 testable.
+        assert_eq!(run.test_coverage(), 1.0 / 3.0);
+        assert_eq!(run.fault_coverage(), 1.0 / 4.0);
+        // Reclassifying the aborted fault as untestable shrinks the
+        // denominator: same detections, higher test coverage.
+        let run = mk(vec![
+            FaultStatus::Detected,
+            FaultStatus::Undetected,
+            FaultStatus::Untestable,
+            FaultStatus::Untestable,
+        ]);
+        assert_eq!(run.test_coverage(), 1.0 / 2.0);
+        assert_eq!(run.fault_coverage(), 1.0 / 4.0);
+        // Degenerate denominators report 0, not NaN.
+        assert_eq!(mk(vec![]).test_coverage(), 0.0);
+        assert_eq!(mk(vec![]).fault_coverage(), 0.0);
+        assert_eq!(mk(vec![FaultStatus::Untestable]).test_coverage(), 0.0);
+    }
+
+    /// A fault whose excitation is contradictory (`y = x ∧ ¬x` can
+    /// never rise) buried under enough XOR state that a small backtrack
+    /// budget aborts before exhausting the space.
+    fn redundant_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("redundant");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let qs: Vec<_> = (0..4).map(|i| b.add_net(format!("q{i}"))).collect();
+        for (i, &q) in qs.iter().enumerate() {
+            b.add_flop(format!("ff{i}"), q, q, clk, ClockEdge::Rising, blk)
+                .unwrap();
+        }
+        let x1 = b.add_net("x1");
+        let x2 = b.add_net("x2");
+        let x = b.add_net("x");
+        let nx = b.add_net("nx");
+        let c = b.add_net("c");
+        let qc = b.add_net("qc");
+        b.add_gate(CellKind::Xor2, &[qs[0], qs[1]], x1, blk)
+            .unwrap();
+        b.add_gate(CellKind::Xor2, &[qs[2], qs[3]], x2, blk)
+            .unwrap();
+        b.add_gate(CellKind::Xor2, &[x1, x2], x, blk).unwrap();
+        b.add_gate(CellKind::Inv, &[x], nx, blk).unwrap();
+        b.add_gate(CellKind::And2, &[x, nx], c, blk).unwrap();
+        b.add_flop("cap", c, qc, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_primary_output(qc);
+        b.finish().unwrap()
+    }
+
+    /// The regression the hybrid engine exists for: PODEM aborts on the
+    /// redundant fault (backtrack budget too small to exhaust the
+    /// space), silently deflating test coverage; the SAT engine proves
+    /// the CNF unsatisfiable and reclassifies the fault `Untestable`.
+    #[test]
+    fn hybrid_reclassifies_podem_abort_as_untestable() {
+        use scap_sim::{FaultSite, Polarity};
+        let n = redundant_netlist();
+        // Net insertion order: q0..q3, x1, x2, x, nx, c.
+        let c = scap_netlist::NetId::new(8);
+        let fault = TransitionFault::new(FaultSite::Net(c), Polarity::SlowToRise);
+        let faults = FaultList::from_faults(vec![fault], 2);
+        let cfg = AtpgConfig {
+            backtrack_limit: 2,
+            ..AtpgConfig::default()
+        };
+        let podem_run = Generator::new(&n, ClockId::new(0), cfg).run(&faults);
+        assert_eq!(
+            podem_run.status[0],
+            FaultStatus::Aborted,
+            "fixture must make PODEM abort for the regression to bite"
+        );
+        let hybrid_cfg = AtpgConfig {
+            engine: EngineKind::Hybrid,
+            ..cfg
+        };
+        let hybrid_run = Generator::new(&n, ClockId::new(0), hybrid_cfg).run(&faults);
+        assert_eq!(
+            hybrid_run.status[0],
+            FaultStatus::Untestable,
+            "SAT must prove the aborted fault untestable"
+        );
+        assert_eq!(hybrid_run.num_aborted(), 0);
+        assert!(hybrid_run.test_coverage() >= podem_run.test_coverage());
+    }
+
+    #[test]
+    fn sat_engine_matches_podem_coverage_on_ring() {
+        let n = ring(12);
+        let faults = FaultList::full(&n);
+        let cfg = AtpgConfig {
+            engine: EngineKind::Sat,
+            ..AtpgConfig::default()
+        };
+        let run = Generator::new(&n, ClockId::new(0), cfg).run(&faults);
+        let podem = Generator::new(&n, ClockId::new(0), AtpgConfig::default()).run(&faults);
+        assert!(
+            run.test_coverage() >= podem.test_coverage() - 1e-9,
+            "sat {:.3} vs podem {:.3}",
+            run.test_coverage(),
+            podem.test_coverage()
+        );
+        assert_eq!(run.num_aborted(), 0, "sat must never abort on the ring");
+    }
+
+    #[test]
+    fn engine_kind_parses_its_own_labels() {
+        for e in [EngineKind::Podem, EngineKind::Sat, EngineKind::Hybrid] {
+            assert_eq!(EngineKind::parse(e.label()), Some(e));
+        }
+        assert_eq!(EngineKind::parse("bogus"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Podem);
     }
 
     #[test]

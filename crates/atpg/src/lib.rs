@@ -36,6 +36,8 @@
 
 mod engine;
 mod generator;
+mod sat_engine;
 
 pub use engine::{Podem, PodemOutcome, PodemScratch};
-pub use generator::{AtpgConfig, AtpgRun, FaultStatus, Generator};
+pub use generator::{AtpgConfig, AtpgRun, EngineKind, FaultStatus, Generator};
+pub use sat_engine::{SatAtpg, SatOutcome};

@@ -20,6 +20,7 @@
 //! run; nothing calls `process::exit`).
 
 use scap::dft::FillPolicy;
+use scap::tgen::EngineKind;
 use scap::{ablation, compact_patterns, experiments, flows, schedule, CaseStudy};
 use scap_serve::params::Args;
 use std::process::ExitCode;
@@ -43,7 +44,9 @@ fn usage() -> ExitCode {
         "usage: scap <generate|atpg|profile|schedule|paths|lint|serve|evaluate> [--scale S] [--seed N] [--threads N] [options]\n\
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
-         \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact\
+         \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact,\
+         \n             --engine podem|sat|hybrid (default podem; hybrid gives PODEM\
+         \n             aborts a SAT verdict: a test or an untestability proof)\
          \n  profile    per-pattern B5 SCAP of a flow vs the screening threshold;\
          \n             --metrics prints the pipeline counter breakdown\
          \n  schedule   power-constrained session scheduling: --budget MILLIWATTS\
@@ -113,7 +116,7 @@ fn generate(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn pick_flow(args: &Args, study: &CaseStudy) -> flows::FlowResult {
+fn pick_flow(args: &Args, study: &CaseStudy) -> Result<flows::FlowResult, String> {
     let fill = match args.get("fill") {
         Some("random-fill") | Some("random") => Some(FillPolicy::Random),
         Some("fill-0") => Some(FillPolicy::Zero),
@@ -121,22 +124,27 @@ fn pick_flow(args: &Args, study: &CaseStudy) -> flows::FlowResult {
         Some("fill-adjacent") => Some(FillPolicy::Adjacent),
         _ => None,
     };
-    match args.get("flow").unwrap_or("noise-aware") {
+    let engine = match args.get("engine") {
+        None => EngineKind::Podem,
+        Some(raw) => EngineKind::parse(raw)
+            .ok_or_else(|| format!("--engine expects podem|sat|hybrid, got '{raw}'"))?,
+    };
+    Ok(match args.get("flow").unwrap_or("noise-aware") {
         "conventional" => flows::conventional_with(
             study,
-            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Random)),
+            flows::flow_atpg_config_with_engine(fill.unwrap_or(FillPolicy::Random), engine),
         ),
         _ => flows::noise_aware_with(
             study,
-            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Zero)),
+            flows::flow_atpg_config_with_engine(fill.unwrap_or(FillPolicy::Zero), engine),
             &flows::paper_stages(study),
         ),
-    }
+    })
 }
 
 fn atpg(args: &Args) -> ExitCode {
     let study = try_flag!(build_study(args));
-    let mut flow = pick_flow(args, &study);
+    let mut flow = try_flag!(pick_flow(args, &study));
     println!(
         "{} patterns, {:.2} % fault coverage",
         flow.patterns.len(),
@@ -174,7 +182,7 @@ fn profile(args: &Args) -> ExitCode {
         scap_obs::set_enabled(true);
     }
     let study = try_flag!(build_study(args));
-    let flow = pick_flow(args, &study);
+    let flow = try_flag!(pick_flow(args, &study));
     let Some(b5) = study.design.block_named("B5") else {
         eprintln!("error: the generated design has no block named 'B5' to profile");
         return ExitCode::FAILURE;
@@ -213,7 +221,7 @@ fn profile(args: &Args) -> ExitCode {
 
 fn schedule_cmd(args: &Args) -> ExitCode {
     let study = try_flag!(build_study(args));
-    let flow = pick_flow(args, &study);
+    let flow = try_flag!(pick_flow(args, &study));
     let tests = schedule::block_tests_from_flow(&study, &flow);
     let serial = schedule::serial_length(&tests);
     let budget: f64 = args

@@ -14,7 +14,7 @@ use crate::{grade_patterns, CaseStudy, GradeResult};
 use scap_dft::{FillPolicy, PatternSet};
 use scap_netlist::BlockId;
 use scap_sim::FaultList;
-use scap_tgen::{AtpgConfig, FaultStatus, Generator};
+use scap_tgen::{AtpgConfig, EngineKind, FaultStatus, Generator};
 
 /// Result of one flow.
 #[derive(Clone, Debug)]
@@ -40,6 +40,16 @@ impl FlowResult {
 pub fn flow_atpg_config(fill: FillPolicy) -> AtpgConfig {
     AtpgConfig {
         fill,
+        ..AtpgConfig::default()
+    }
+}
+
+/// Flow configuration with an explicit primary-targeting engine
+/// (`--engine podem|sat|hybrid` on the CLI and `engine=` on the wire).
+pub fn flow_atpg_config_with_engine(fill: FillPolicy, engine: EngineKind) -> AtpgConfig {
+    AtpgConfig {
+        fill,
+        engine,
         ..AtpgConfig::default()
     }
 }

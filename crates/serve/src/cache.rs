@@ -80,11 +80,18 @@ impl DesignCache {
         }
     }
 
+    /// Locks the state, recovering from poison. A builder that panics
+    /// poisons the mutex: `BuildGuard::drop` takes the lock during the
+    /// unwind, and releasing a guard while panicking marks the mutex
+    /// poisoned. The guard only ever removes its own `Building` entry,
+    /// so the state is never left half-mutated and is safe to reuse.
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Number of resident (fully built) designs.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("design cache poisoned")
+        self.lock()
             .entries
             .iter()
             .filter(|e| matches!(e.slot, Slot::Ready(_)))
@@ -103,7 +110,7 @@ impl DesignCache {
     /// generator panics outside that range.
     pub fn get_or_build(&self, scale: f64, seed: u64) -> Arc<CaseStudy> {
         let key = CacheKey::new(scale, seed);
-        let mut s = self.state.lock().expect("design cache poisoned");
+        let mut s = self.lock();
         while let Some(i) = s.entries.iter().position(|e| e.key == key) {
             match s.entries[i].slot.clone() {
                 Slot::Ready(design) => {
@@ -115,7 +122,7 @@ impl DesignCache {
                 }
                 Slot::Building => {
                     scap_obs::counter!("serve.cache.waits").incr();
-                    s = self.ready.wait(s).expect("design cache poisoned");
+                    s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
@@ -146,7 +153,7 @@ impl DesignCache {
         };
         guard.armed = false;
 
-        let mut s = self.state.lock().expect("design cache poisoned");
+        let mut s = self.lock();
         if let Some(e) = s.entries.iter_mut().find(|e| e.key == key) {
             e.slot = Slot::Ready(design.clone());
         }
@@ -191,7 +198,7 @@ impl Drop for BuildGuard<'_> {
         if !self.armed {
             return;
         }
-        let mut s = self.cache.state.lock().expect("design cache poisoned");
+        let mut s = self.cache.lock();
         s.entries.retain(|e| e.key != self.key);
         drop(s);
         self.cache.ready.notify_all();
@@ -271,5 +278,29 @@ mod tests {
             .counter("serve.design_builds")
             .unwrap_or(0);
         assert_eq!(after - before, 1, "single-flight must build exactly once");
+    }
+
+    #[test]
+    fn panicking_builder_does_not_poison_the_cache() {
+        let _guard = serial();
+        let cache = Arc::new(DesignCache::new(2));
+        // Scale 0 violates the generator's contract; the build panics
+        // outside the lock, and BuildGuard poisons the mutex while
+        // cleaning up its Building entry during the unwind.
+        let c = Arc::clone(&cache);
+        let joined = std::thread::Builder::new()
+            .name("panicking-builder".into())
+            .spawn(move || c.get_or_build(0.0, 7))
+            .unwrap()
+            .join();
+        assert!(joined.is_err(), "invalid scale must panic the builder");
+        // Every entry point must recover instead of propagating the
+        // poison: the aborted build left no entry behind, and a fresh
+        // build on the same cache succeeds.
+        assert_eq!(cache.len(), 0);
+        let a = cache.get_or_build(SCALE, 7);
+        let b = cache.get_or_build(SCALE, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
     }
 }

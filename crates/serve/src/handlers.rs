@@ -10,6 +10,7 @@ use crate::cache::DesignCache;
 use crate::http::Response;
 use crate::params::Args;
 use scap::dft::FillPolicy;
+use scap::tgen::EngineKind;
 use scap::{experiments, flows, schedule, CaseStudy, PatternAnalyzer};
 use scap_obs::json::{Arr, Obj};
 
@@ -51,6 +52,14 @@ fn parse_fill(raw: Option<&str>) -> Result<Option<FillPolicy>, String> {
         Some(other) => Err(format!(
             "fill expects random-fill|fill-0|fill-1|fill-adjacent, got '{other}'"
         )),
+    }
+}
+
+fn parse_engine(raw: Option<&str>) -> Result<EngineKind, String> {
+    match raw {
+        None => Ok(EngineKind::Podem),
+        Some(s) => EngineKind::parse(s)
+            .ok_or_else(|| format!("engine expects podem|sat|hybrid, got '{s}'")),
     }
 }
 
@@ -251,6 +260,8 @@ pub struct ProfileParams {
     pub flow: FlowKind,
     /// Fill policy override (the flow's default otherwise).
     pub fill: Option<FillPolicy>,
+    /// Primary ATPG engine (`podem`, `sat` or `hybrid`).
+    pub engine: EngineKind,
     /// Block to profile (the paper's hot block B5 by default).
     pub block: String,
 }
@@ -258,25 +269,31 @@ pub struct ProfileParams {
 impl ProfileParams {
     /// Validates a request's parameters.
     pub fn parse(args: &Args) -> Result<Self, String> {
-        reject_unknown(args, &with_common(&["flow", "fill", "block"]))?;
+        reject_unknown(args, &with_common(&["flow", "fill", "engine", "block"]))?;
         Ok(ProfileParams {
             common: CommonParams::parse(args)?,
             flow: FlowKind::parse(args.get("flow"))?,
             fill: parse_fill(args.get("fill"))?,
+            engine: parse_engine(args.get("engine"))?,
             block: args.get("block").unwrap_or("B5").to_owned(),
         })
     }
 }
 
-fn run_flow(study: &CaseStudy, kind: FlowKind, fill: Option<FillPolicy>) -> flows::FlowResult {
+fn run_flow(
+    study: &CaseStudy,
+    kind: FlowKind,
+    fill: Option<FillPolicy>,
+    engine: EngineKind,
+) -> flows::FlowResult {
     match kind {
         FlowKind::Conventional => flows::conventional_with(
             study,
-            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Random)),
+            flows::flow_atpg_config_with_engine(fill.unwrap_or(FillPolicy::Random), engine),
         ),
         FlowKind::NoiseAware => flows::noise_aware_with(
             study,
-            flows::flow_atpg_config(fill.unwrap_or(FillPolicy::Zero)),
+            flows::flow_atpg_config_with_engine(fill.unwrap_or(FillPolicy::Zero), engine),
             &flows::paper_stages(study),
         ),
     }
@@ -299,7 +316,7 @@ pub fn profile(cache: &DesignCache, p: &ProfileParams) -> Response {
     let Some(&threshold) = experiments::scap_thresholds(&study).get(block.index()) else {
         return Response::error(500, &format!("no screening threshold for '{}'", p.block));
     };
-    let flow = run_flow(&study, p.flow, p.fill);
+    let flow = run_flow(&study, p.flow, p.fill, p.engine);
     let series = experiments::scap_series(&study, &flow, block, threshold);
     let mut patterns = Arr::new();
     for (i, &mw) in series.scap_mw.iter().enumerate() {
@@ -314,6 +331,7 @@ pub fn profile(cache: &DesignCache, p: &ProfileParams) -> Response {
         .u64("seed", p.common.seed)
         .str("flow", p.flow.label())
         .str("fill", fill_label(effective_fill(p.flow, p.fill)))
+        .str("engine", p.engine.label())
         .str("block", &p.block)
         .f64("threshold_mw", threshold)
         .u64("patterns", series.scap_mw.len() as u64)
@@ -337,6 +355,8 @@ pub struct ScheduleParams {
     pub flow: FlowKind,
     /// Fill policy override.
     pub fill: Option<FillPolicy>,
+    /// Primary ATPG engine (`podem`, `sat` or `hybrid`).
+    pub engine: EngineKind,
     /// Session power budget, mW (2× the hottest block when absent —
     /// the CLI's default).
     pub budget_mw: Option<f64>,
@@ -345,7 +365,7 @@ pub struct ScheduleParams {
 impl ScheduleParams {
     /// Validates a request's parameters.
     pub fn parse(args: &Args) -> Result<Self, String> {
-        reject_unknown(args, &with_common(&["flow", "fill", "budget"]))?;
+        reject_unknown(args, &with_common(&["flow", "fill", "engine", "budget"]))?;
         let budget_mw = args.f64_flag("budget")?;
         if let Some(b) = budget_mw {
             if b <= 0.0 {
@@ -356,6 +376,7 @@ impl ScheduleParams {
             common: CommonParams::parse(args)?,
             flow: FlowKind::parse(args.get("flow"))?,
             fill: parse_fill(args.get("fill"))?,
+            engine: parse_engine(args.get("engine"))?,
             budget_mw,
         })
     }
@@ -364,7 +385,7 @@ impl ScheduleParams {
 /// Power-constrained session scheduling of the flow's per-block tests.
 pub fn schedule(cache: &DesignCache, p: &ScheduleParams) -> Response {
     let study = cache.get_or_build(p.common.scale, p.common.seed);
-    let flow = run_flow(&study, p.flow, p.fill);
+    let flow = run_flow(&study, p.flow, p.fill, p.engine);
     let tests = schedule::block_tests_from_flow(&study, &flow);
     let serial = schedule::serial_length(&tests);
     let budget = p
@@ -391,6 +412,7 @@ pub fn schedule(cache: &DesignCache, p: &ScheduleParams) -> Response {
     root.f64("scale", p.common.scale)
         .u64("seed", p.common.seed)
         .str("flow", p.flow.label())
+        .str("engine", p.engine.label())
         .f64("budget_mw", budget)
         .u64("serial_length", serial as u64)
         .u64("scheduled_length", plan.total_length() as u64)
@@ -448,6 +470,18 @@ mod tests {
         assert!(FlowKind::parse(Some("fast")).is_err());
         assert_eq!(parse_fill(Some("fill-1")).unwrap(), Some(FillPolicy::One));
         assert!(parse_fill(Some("ones")).is_err());
+    }
+
+    #[test]
+    fn engine_parses_strictly_and_defaults_to_podem() {
+        assert_eq!(parse_engine(None).unwrap(), EngineKind::Podem);
+        assert_eq!(parse_engine(Some("hybrid")).unwrap(), EngineKind::Hybrid);
+        assert_eq!(parse_engine(Some("sat")).unwrap(), EngineKind::Sat);
+        assert!(parse_engine(Some("cnf")).is_err());
+        let p = ProfileParams::parse(&Args::from_query("engine=hybrid&flow=conventional")).unwrap();
+        assert_eq!(p.engine, EngineKind::Hybrid);
+        let p = ScheduleParams::parse(&Args::from_query("engine=sat")).unwrap();
+        assert_eq!(p.engine, EngineKind::Sat);
     }
 
     #[test]

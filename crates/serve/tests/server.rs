@@ -70,10 +70,14 @@ fn concurrent_identical_requests_build_once_and_agree_byte_for_byte() {
         "single-flight: 8 cold requests, exactly 1 build"
     );
     assert_eq!(delta("serve.cache.misses"), 1);
+    // Each of the other 7 requests resolves to exactly one cache hit —
+    // either directly or after waiting on the in-flight build. The wait
+    // counter is timing-dependent (one tick per condvar wakeup while
+    // the build is still in flight), so it is not pinned here.
     assert_eq!(
-        delta("serve.cache.hits") + delta("serve.cache.waits"),
+        delta("serve.cache.hits"),
         7,
-        "the other 7 requests hit the cache or waited on the in-flight build"
+        "the other 7 requests all resolve to cache hits"
     );
 
     stop(&shutdown, join);

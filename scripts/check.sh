@@ -57,6 +57,17 @@ if [ "$fast" -eq 0 ]; then
     }
     echo "fault-sim kernel smoke passed."
 
+    echo "== hybrid engine smoke (SAT settles PODEM aborts) =="
+    hprof=$(./target/release/scap profile --scale 0.008 --flow conventional --engine hybrid --metrics)
+    recl=$(printf '%s\n' "$hprof" | awk '$1 == "atpg.reclassified_untestable" { print $2 }')
+    solves=$(printf '%s\n' "$hprof" | awk '$1 == "sat.solves" { print $2 }')
+    if [ -z "${recl:-}" ] || [ "$recl" -eq 0 ]; then
+        echo "expected >= 1 abort reclassified Untestable (atpg.reclassified_untestable) under --engine hybrid" >&2
+        exit 1
+    fi
+    echo "  atpg.reclassified_untestable = $recl (sat.solves = ${solves:-0})"
+    echo "hybrid engine smoke passed: aborts are proven untestable, not left hanging."
+
     echo "== scap serve smoke (ephemeral port, loadgen burst, clean drain) =="
     cargo build --offline --release -q -p scap-serve
     serve_log=$(mktemp)
@@ -99,8 +110,11 @@ stages = [s for s in doc["stages"] if "fault_sim_checks_per_sec" in s]
 assert stages, "no stage carries fault_sim_checks_per_sec"
 for s in stages:
     assert s["fault_sim_checks_per_sec"] > 0, f"zero throughput in {s['name']}"
+totals = doc["totals"]
+for c in ("sat.solves", "sat.conflicts", "atpg.reclassified_untestable"):
+    assert totals.get(c, 0) > 0, f"expected {c} > 0 in totals"
 PY
-        echo "BENCH_evaluation.json parses; fault-sim throughput carried on every simulating stage."
+        echo "BENCH_evaluation.json parses; fault-sim throughput and SAT solver counters carried."
     else
         echo "BENCH_evaluation.json not present; skipping."
     fi
