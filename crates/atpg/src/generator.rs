@@ -243,8 +243,29 @@ impl<'a> Generator<'a> {
 
     /// Runs ATPG continuing from a prior status vector (used by the staged
     /// procedure to avoid re-targeting already-covered faults).
-    pub fn run_with_status(&self, faults: &FaultList, mut status: Vec<FaultStatus>) -> AtpgRun {
+    pub fn run_with_status(&self, faults: &FaultList, status: Vec<FaultStatus>) -> AtpgRun {
+        let order: Vec<usize> = (0..faults.faults().len()).collect();
+        self.run_with_status_in_order(faults, status, &order)
+    }
+
+    /// Runs ATPG targeting faults in an explicit order — e.g. the STA
+    /// risk-tier priority that puts faults on near-critical (derated)
+    /// paths first, so the budgeted pattern count covers the paths supply
+    /// noise actually threatens. `order` must hold in-range fault indices,
+    /// each at most once; faults absent from it are never targeted as
+    /// primaries (drop-simulation can still detect them). With the
+    /// identity order this is exactly [`Generator::run_with_status`].
+    pub fn run_with_status_in_order(
+        &self,
+        faults: &FaultList,
+        mut status: Vec<FaultStatus>,
+        order: &[usize],
+    ) -> AtpgRun {
         assert_eq!(status.len(), faults.faults().len());
+        assert!(
+            order.iter().all(|&i| i < status.len()),
+            "fault order index out of range"
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut patterns = PatternSet {
             fill: Some(self.config.fill),
@@ -282,7 +303,7 @@ impl<'a> Generator<'a> {
         // (they burn the full budget and nearly always abort again).
         let mut secondary_aborts: Vec<u8> = vec![0; list.len()];
         const SECONDARY_ABORT_CAP: u8 = 2;
-        for idx in 0..list.len() {
+        for (pos, &idx) in order.iter().enumerate() {
             if patterns.len() >= self.config.max_patterns {
                 break;
             }
@@ -342,7 +363,8 @@ impl<'a> Generator<'a> {
             // into the same pattern until merges keep failing.
             let mut fails = 0u32;
             let mut scanned = 0usize;
-            for (jdx, &f2) in list.iter().enumerate().skip(idx + 1) {
+            for &jdx in &order[pos + 1..] {
+                let f2 = list[jdx];
                 if fails >= self.config.secondary_fail_limit
                     || scanned >= self.config.secondary_scan_window
                 {

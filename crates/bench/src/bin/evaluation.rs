@@ -201,6 +201,99 @@ fn main() {
     });
     println!("{}", experiments::render_fig7(&f7));
 
+    // Noise-aware STA: nominal-vs-derated slack distribution, fault risk
+    // tiers driving ATPG targeting order, and the derated
+    // launch-to-capture pattern screen.
+    let sta = clock.time("sta_noise_aware", || {
+        scap::sta::NoiseAwareSta::worst_case(&study)
+    });
+    let period = study.period_ps();
+    let slacks = sta.endpoint_slacks();
+    println!(
+        "Noise-aware STA ({} endpoints, cycle {:.0} ps):",
+        slacks.len(),
+        period
+    );
+    println!(
+        "  nominal: critical path {:.0} ps, worst slack {:.0} ps",
+        sta.nominal.critical_path_ps(),
+        sta.nominal.worst_slack_ps().unwrap_or(0.0)
+    );
+    println!(
+        "  derated: critical path {:.0} ps, worst slack {:.0} ps",
+        sta.derated.critical_path_ps(),
+        sta.derated.worst_slack_ps().unwrap_or(0.0)
+    );
+    // Slack histogram: ten 10 %-of-cycle bins (plus a negative bucket).
+    let bin_of = |s: f64| {
+        if s < 0.0 {
+            0usize
+        } else {
+            1 + ((s / period * 10.0) as usize).min(9)
+        }
+    };
+    let mut nominal_bins = [0usize; 11];
+    let mut derated_bins = [0usize; 11];
+    for &(_, nom, der) in &slacks {
+        nominal_bins[bin_of(nom)] += 1;
+        derated_bins[bin_of(der)] += 1;
+    }
+    println!("  slack histogram (% of cycle): bucket nominal derated");
+    for (i, (n_count, d_count)) in nominal_bins.iter().zip(&derated_bins).enumerate() {
+        let label = if i == 0 {
+            "  <0".to_owned()
+        } else {
+            format!("{:>2}0%", i - 1)
+        };
+        println!("    {label:>6} {n_count:>7} {d_count:>7}");
+    }
+    let mut worst = slacks.clone();
+    worst.sort_by(|a, b| {
+        a.2.total_cmp(&b.2)
+            .then_with(|| a.0.index().cmp(&b.0.index()))
+    });
+    for &(flop, nom, der) in worst.iter().take(5) {
+        println!(
+            "    endpoint {:<12} nominal {:>8.0} ps  derated {:>8.0} ps",
+            study.design.netlist.flop(flop).name,
+            nom,
+            der
+        );
+    }
+    let full_faults = scap::sim::FaultList::full(&study.design.netlist);
+    let tier_hist = sta.tier_histogram(&study.design.netlist, &full_faults);
+    let tier_parts: Vec<String> = tier_hist
+        .iter()
+        .map(|(t, c)| format!("{} {}", t.label(), c))
+        .collect();
+    println!("  fault risk tiers: {}", tier_parts.join(" | "));
+    let prioritized = clock.time("atpg_risk_prioritized", || {
+        use scap::dft::FillPolicy;
+        use scap::tgen::FaultStatus;
+        let n = &study.design.netlist;
+        let order = sta.fault_priority_order(n, &full_faults);
+        let config = flows::flow_atpg_config(FillPolicy::Zero);
+        scap::tgen::Generator::new(n, study.clka(), config).run_with_status_in_order(
+            &full_faults,
+            vec![FaultStatus::Undetected; full_faults.faults().len()],
+            &order,
+        )
+    });
+    println!(
+        "  risk-prioritized ATPG: {} patterns, {:.2} % fault coverage",
+        prioritized.patterns.len(),
+        prioritized.fault_coverage() * 100.0
+    );
+    let screen = clock.time("timing_screen_derated", || {
+        scap::sta::TimingScreen::run(&study, &noise_aware.patterns, 40.0)
+    });
+    println!(
+        "  derated timing screen (k x40): {}/{} patterns exceed the {:.0} ps budget\n",
+        screen.invalidated_count(),
+        noise_aware.patterns.len(),
+        screen.budget_ps
+    );
+
     // Ablations.
     let rows = clock.time("ablation_fill_matrix", || {
         ablation::staged_fill_matrix(&study)

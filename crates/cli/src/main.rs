@@ -41,7 +41,7 @@ macro_rules! try_flag {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scap <generate|atpg|profile|schedule|paths|lint|serve|evaluate> [--scale S] [--seed N] [--threads N] [options]\n\
+        "usage: scap <generate|atpg|profile|schedule|paths|sta|lint|serve|evaluate> [--scale S] [--seed N] [--threads N] [options]\n\
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
          \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact,\
@@ -51,9 +51,14 @@ fn usage() -> ExitCode {
          \n             --metrics prints the pipeline counter breakdown\
          \n  schedule   power-constrained session scheduling: --budget MILLIWATTS\
          \n  paths      report the N worst timing paths: --count N\
+         \n  sta        per-endpoint slack analysis; --derate adds the IR-drop-derated\
+         \n             pass (worst-case regional droop through the delay model),\
+         \n             --derate-k F scales the droop sensitivity, --paths N,\
+         \n             --metrics prints the sta.* counter breakdown\
          \n  lint       cross-layer design-rule check of the generated design, the\
-         \n             noise-aware flow's patterns and the supply meshes;\
-         \n             --format text|json, --deny warn to fail on warnings\
+         \n             noise-aware flow's patterns, the supply meshes and the\
+         \n             nominal/derated timing; --format text|json, --deny warn to\
+         \n             fail on warnings, --only RULEPREFIX (e.g. TIM, NET002)\
          \n             exit 0 clean, 1 findings at or above the deny level, 2 usage\
          \n  serve      resident HTTP JSON API (see docs/SERVER.md):\
          \n             --addr HOST:PORT (default 127.0.0.1:7878; port 0 = ephemeral),\
@@ -87,6 +92,7 @@ fn main() -> ExitCode {
         "profile" => profile(&args),
         "schedule" => schedule_cmd(&args),
         "paths" => paths(&args),
+        "sta" => sta(&args),
         "lint" => lint(&args),
         "serve" => serve(&args),
         "evaluate" => evaluate(&args),
@@ -284,7 +290,17 @@ fn lint(args: &Args) -> ExitCode {
     };
 
     let study = try_flag!(build_study(args));
-    let report = scap_serve::lint_report(&study);
+    let report = match args.get("only") {
+        Some(prefix) => {
+            let rules = scap_lint::rules_matching(prefix);
+            if rules.is_empty() {
+                eprintln!("error: --only '{prefix}' matches no registered rule");
+                return ExitCode::from(2);
+            }
+            scap_serve::lint_report_with(&study, rules)
+        }
+        None => scap_serve::lint_report(&study),
+    };
     if json {
         println!("{}", report.render_json_pretty());
     } else {
@@ -363,6 +379,101 @@ fn evaluate(args: &Args) -> ExitCode {
         "{}",
         experiments::render_fig7(&experiments::fig7(&study, &na))
     );
+    ExitCode::SUCCESS
+}
+
+/// `scap sta` — per-endpoint slack analysis of the generated design:
+/// nominal by default, with `--derate` adding the IR-drop-derated pass
+/// (worst-case regional droop mapped through the delay model) plus the
+/// fault risk-tier histogram ATPG prioritization consumes.
+fn sta(args: &Args) -> ExitCode {
+    use scap::sta::NoiseAwareSta;
+    use scap::timing::{RiskTier, SlackSta};
+
+    if args.has("metrics") {
+        scap_obs::set_enabled(true);
+    }
+    let study = try_flag!(build_study(args));
+    let n = &study.design.netlist;
+    let path_count = try_flag!(args.usize_flag("paths", 5));
+    let k = try_flag!(args.f64_flag("derate-k")).unwrap_or(1.0);
+    if !k.is_finite() || k <= 0.0 {
+        eprintln!("error: --derate-k expects a positive factor, got {k}");
+        return ExitCode::from(2);
+    }
+    if args.has("derate") {
+        let sta = NoiseAwareSta::with_derate(&study, k);
+        println!(
+            "cycle {:.0} ps | nominal: critical path {:.0} ps, worst slack {:.0} ps",
+            study.period_ps(),
+            sta.nominal.critical_path_ps(),
+            sta.nominal.worst_slack_ps().unwrap_or(0.0),
+        );
+        println!(
+            "derated (k x{k}): critical path {:.0} ps, worst slack {:.0} ps",
+            sta.derated.critical_path_ps(),
+            sta.derated.worst_slack_ps().unwrap_or(0.0),
+        );
+        for (flop, nom, der) in sta.endpoint_slacks() {
+            println!(
+                "endpoint {:<12} nominal {:>8.0} ps  derated {:>8.0} ps  {}",
+                n.flop(flop).name,
+                nom,
+                der,
+                RiskTier::classify(der, study.period_ps()).label()
+            );
+        }
+        let faults = scap::sim::FaultList::full(n);
+        let hist = sta.tier_histogram(n, &faults);
+        let parts: Vec<String> = hist
+            .iter()
+            .map(|(t, c)| format!("{} {}", t.label(), c))
+            .collect();
+        println!("fault risk tiers: {}", parts.join(" | "));
+        for (i, p) in sta.derated.worst_paths(n, path_count).iter().enumerate() {
+            println!(
+                "derated path {i}: endpoint {} arrival {:.0} ps slack {:.0} ps depth {}",
+                n.flop(p.endpoint).name,
+                p.data_arrival_ps,
+                p.slack_ps,
+                p.depth()
+            );
+        }
+    } else {
+        let sta = SlackSta::run(n, &study.annotation, &study.arrivals);
+        println!(
+            "cycle {:.0} ps | critical path {:.0} ps, worst slack {:.0} ps",
+            study.period_ps(),
+            sta.critical_path_ps(),
+            sta.worst_slack_ps().unwrap_or(0.0),
+        );
+        for e in sta.endpoints() {
+            println!(
+                "endpoint {:<12} slack {:>8.0} ps",
+                n.flop(e.flop).name,
+                e.slack_ps()
+            );
+        }
+        let unreachable = sta.unreachable_endpoints(n);
+        if !unreachable.is_empty() {
+            println!(
+                "{} endpoint(s) unreachable from any launch",
+                unreachable.len()
+            );
+        }
+        for (i, p) in sta.worst_paths(n, path_count).iter().enumerate() {
+            println!(
+                "path {i}: endpoint {} arrival {:.0} ps slack {:.0} ps depth {}",
+                n.flop(p.endpoint).name,
+                p.data_arrival_ps,
+                p.slack_ps,
+                p.depth()
+            );
+        }
+    }
+    if args.has("metrics") {
+        println!("\n{}", scap_obs::render(&scap_obs::snapshot()));
+    }
     ExitCode::SUCCESS
 }
 

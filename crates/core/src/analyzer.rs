@@ -216,10 +216,21 @@ impl<'a> PatternAnalyzer<'a> {
         &self,
         filled: &FilledPattern,
     ) -> (EndpointDelayReport, EndpointDelayReport) {
+        self.endpoint_delays_scaled_k(filled, self.netlist().library.k_volt_per_volt)
+    }
+
+    /// [`PatternAnalyzer::endpoint_delays_scaled`] with an explicit
+    /// delay-scaling coefficient (V⁻¹) instead of the library's
+    /// calibrated `k_volt` — the timing screen's aggressive-derating
+    /// sensitivity knob.
+    pub fn endpoint_delays_scaled_k(
+        &self,
+        filled: &FilledPattern,
+        k: f64,
+    ) -> (EndpointDelayReport, EndpointDelayReport) {
         let trace = self.trace(filled);
         let nominal = self.endpoints_from_trace(&trace, &self.study.arrivals);
         let n = self.netlist();
-        let k = n.library.k_volt_per_volt;
         let dynir = DynamicAnalysis::new(n, &self.study.design.floorplan, self.study.grid);
         let map = dynir.analyze(&self.study.annotation, &trace);
         let scaled_ann = scaling::scale_annotation(

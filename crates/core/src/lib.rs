@@ -45,6 +45,7 @@ pub mod flows;
 mod grade;
 pub mod schedule;
 pub mod sdd;
+pub mod sta;
 
 pub use analyzer::{EndpointDelayReport, PatternAnalyzer};
 pub use case_study::CaseStudy;

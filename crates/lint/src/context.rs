@@ -6,9 +6,9 @@
 
 use crate::diag::MeshKind;
 use scap_dft::PatternSet;
-use scap_netlist::{BlockId, Netlist};
+use scap_netlist::{BlockId, ClockId, FlopId, Netlist};
 use scap_power::PowerGrid;
-use scap_timing::{ClockTree, DelayAnnotation};
+use scap_timing::{ClockTree, DelayAnnotation, SlackSta};
 
 /// An assembled reduced system: `(dimension, (row, col, value) triplets)`.
 pub type SystemTriplets = (usize, Vec<(u32, u32, f64)>);
@@ -112,6 +112,58 @@ impl QuietSpec {
     }
 }
 
+/// Precomputed static-timing results for the `TIM00x` rules: per-endpoint
+/// nominal (and optionally IR-drop-derated) slacks for one clock domain.
+///
+/// The spec is plain data so rules stay pure and fast: the caller runs
+/// [`SlackSta`] (nominal, and derated via
+/// `scap_timing::scaling::scale_annotation`) once and captures the
+/// results here, typically via [`TimingSpec::from_analyses`].
+#[derive(Clone, Debug)]
+pub struct TimingSpec {
+    /// The analyzed clock domain.
+    pub clock: ClockId,
+    /// The domain's tester period, ps.
+    pub period_ps: f64,
+    /// Per-endpoint nominal slack, ps.
+    pub nominal_slack_ps: Vec<(FlopId, f64)>,
+    /// Per-endpoint slack under IR-drop-derated delays, ps (absent when
+    /// no derated analysis ran).
+    pub derated_slack_ps: Option<Vec<(FlopId, f64)>>,
+    /// Critical-path delay under derated delays, ps.
+    pub derated_critical_path_ps: Option<f64>,
+    /// Endpoints unreachable from any launch flop or primary input.
+    pub unreachable_endpoints: Vec<FlopId>,
+}
+
+impl TimingSpec {
+    /// Captures nominal (and optionally derated) [`SlackSta`] results.
+    pub fn from_analyses(
+        netlist: &Netlist,
+        clock: ClockId,
+        nominal: &SlackSta,
+        derated: Option<&SlackSta>,
+    ) -> Self {
+        TimingSpec {
+            clock,
+            period_ps: nominal.period_ps(),
+            nominal_slack_ps: nominal
+                .endpoints()
+                .iter()
+                .map(|e| (e.flop, e.slack_ps()))
+                .collect(),
+            derated_slack_ps: derated.map(|d| {
+                d.endpoints()
+                    .iter()
+                    .map(|e| (e.flop, e.slack_ps()))
+                    .collect()
+            }),
+            derated_critical_path_ps: derated.map(|d| d.critical_path_ps()),
+            unreachable_endpoints: nominal.unreachable_endpoints(netlist),
+        }
+    }
+}
+
 /// Declaration that a pattern set was SCAP-screened: per-block thresholds,
 /// the measured per-pattern per-block SCAP, and which patterns the flow
 /// emits. `PAT003` checks that no emitted pattern exceeds a threshold.
@@ -137,6 +189,11 @@ pub struct LintConfig {
     /// A chain is unbalanced when longer than this multiple of its
     /// domain-group average, plus one cell of rounding slack (`SCAN002`).
     pub balance_factor: f64,
+    /// An endpoint whose *derated* slack falls below this margin is
+    /// flagged by `TIM004` — it still meets timing nominally, but a
+    /// supply droop beyond the derating assumption would fail it. The
+    /// default is 1 % of the paper's 20 ns tester cycle.
+    pub derated_slack_margin_ps: f64,
 }
 
 impl Default for LintConfig {
@@ -145,6 +202,7 @@ impl Default for LintConfig {
             fanout_warn_floor: 64,
             fanout_warn_factor: 16.0,
             balance_factor: 2.0,
+            derated_slack_margin_ps: 200.0,
         }
     }
 }
@@ -166,6 +224,8 @@ pub struct LintContext<'a> {
     pub quiet: Option<QuietSpec>,
     /// SCAP-screen declaration, for `PAT003`.
     pub screen: Option<ScreenSpec>,
+    /// Precomputed STA results, for `TIM001`/`TIM003`-`TIM005`.
+    pub sta: Option<TimingSpec>,
     /// Outlier thresholds.
     pub config: LintConfig,
 }
@@ -181,6 +241,7 @@ impl<'a> LintContext<'a> {
             patterns: None,
             quiet: None,
             screen: None,
+            sta: None,
             config: LintConfig::default(),
         }
     }
@@ -217,6 +278,12 @@ impl<'a> LintContext<'a> {
     /// Adds the SCAP-screen declaration.
     pub fn with_screen(mut self, screen: ScreenSpec) -> Self {
         self.screen = Some(screen);
+        self
+    }
+
+    /// Adds precomputed STA results.
+    pub fn with_sta(mut self, sta: TimingSpec) -> Self {
+        self.sta = Some(sta);
         self
     }
 }

@@ -5,7 +5,7 @@
 //! per-clock-domain, "quiet" blocks really 0-filled, the VDD/VSS meshes
 //! fully pad-connected, the stamped Laplacian symmetric and dominant.
 //! This crate makes each of those an explicit **rule** with a stable ID
-//! (`NET001` … `PAT003`), a severity, and a [`Span`] naming the offending
+//! (`NET001` … `TIM005`), a severity, and a [`Span`] naming the offending
 //! object, so a bad generator or refactor fails as a diagnostic instead
 //! of as wrong Table-3 numbers.
 //!
@@ -44,6 +44,8 @@ mod diag;
 mod registry;
 pub mod rules;
 
-pub use context::{LintConfig, LintContext, MeshSpec, QuietSpec, QuietStage, ScreenSpec};
+pub use context::{
+    LintConfig, LintContext, MeshSpec, QuietSpec, QuietStage, ScreenSpec, TimingSpec,
+};
 pub use diag::{Finding, LintReport, MeshKind, RuleStat, Severity, Span};
-pub use registry::{all_rules, run_all, run_rules, Rule};
+pub use registry::{all_rules, rules_matching, run_all, run_rules, Rule};

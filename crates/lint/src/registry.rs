@@ -18,8 +18,8 @@ pub trait Rule: Send + Sync {
     fn id(&self) -> &'static str;
     /// Severity of every finding this rule produces.
     fn severity(&self) -> Severity;
-    /// Which layer the rule checks: `netlist`, `scan`, `clock`, `grid` or
-    /// `pattern`.
+    /// Which layer the rule checks: `netlist`, `scan`, `clock`, `timing`,
+    /// `grid` or `pattern`.
     fn layer(&self) -> &'static str;
     /// One-line description for catalogs and `--help`-style output.
     fn description(&self) -> &'static str;
@@ -51,6 +51,11 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(rules::clock::TreeStructure),
         Box::new(rules::clock::DelaySanity),
         Box::new(rules::clock::DomainPeriodSanity),
+        Box::new(rules::timing::NominalSlack),
+        Box::new(rules::timing::AnnotationDelaySanity),
+        Box::new(rules::timing::EndpointReachability),
+        Box::new(rules::timing::DeratedSlackMargin),
+        Box::new(rules::timing::PeriodCoversDeratedCritical),
         Box::new(rules::grid::PadReachability),
         Box::new(rules::grid::ConductanceSanity),
         Box::new(rules::grid::MatrixShape),
@@ -64,6 +69,17 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
 /// report with findings in stable order.
 pub fn run_all(ctx: &LintContext) -> LintReport {
     run_rules(ctx, all_rules())
+}
+
+/// The registered rules whose id starts with `prefix` (case-insensitive),
+/// e.g. `"TIM"` for the timing layer or `"TIM004"` for one rule. Empty
+/// when nothing matches — callers should treat that as a usage error.
+pub fn rules_matching(prefix: &str) -> Vec<Box<dyn Rule>> {
+    let prefix = prefix.to_ascii_uppercase();
+    all_rules()
+        .into_iter()
+        .filter(|r| r.id().starts_with(&prefix))
+        .collect()
 }
 
 /// Runs an explicit rule list (used by focused tests).
@@ -118,10 +134,19 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_five_layers() {
+    fn registry_covers_all_six_layers() {
         let layers: HashSet<&str> = all_rules().iter().map(|r| r.layer()).collect();
-        for expected in ["netlist", "scan", "clock", "grid", "pattern"] {
+        for expected in ["netlist", "scan", "clock", "timing", "grid", "pattern"] {
             assert!(layers.contains(expected), "missing layer {expected}");
         }
+    }
+
+    #[test]
+    fn rules_matching_filters_by_prefix() {
+        let tim = rules_matching("tim");
+        assert_eq!(tim.len(), 5);
+        assert!(tim.iter().all(|r| r.id().starts_with("TIM")));
+        assert_eq!(rules_matching("TIM004").len(), 1);
+        assert!(rules_matching("ZZZ").is_empty());
     }
 }

@@ -3,7 +3,7 @@
 use crate::context::LintContext;
 use crate::diag::{Finding, Severity, Span};
 use crate::registry::Rule;
-use scap_netlist::{ClockId, FlopId, GateId};
+use scap_netlist::ClockId;
 
 /// `CLK001` — the clock tree must be a forest with parents stored before
 /// children; `arrivals_with_drop` accumulates delays in one forward pass
@@ -51,9 +51,9 @@ impl Rule for TreeStructure {
     }
 }
 
-/// `CLK002` — every annotated delay must be finite and non-negative:
-/// gate rise/fall, flop clock-to-Q, and clock-buffer delays. STA and the
-/// SCAP window math trust these without checks.
+/// `CLK002` — every clock-buffer delay must be finite and non-negative;
+/// `arrivals_with_drop` trusts them without checks. (Gate and flop
+/// clock-to-Q delays are the timing layer's `TIM002`.)
 #[derive(Debug)]
 pub struct DelaySanity;
 
@@ -68,34 +68,13 @@ impl Rule for DelaySanity {
         "clock"
     }
     fn description(&self) -> &'static str {
-        "negative or non-finite annotated delay (gate, flop clock-to-Q, or clock buffer)"
+        "negative or non-finite clock-buffer delay"
     }
     fn metric(&self) -> &'static str {
         "lint.rule.clk002"
     }
     fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
         let bad = |v: f64| !v.is_finite() || v < 0.0;
-        if let Some(ann) = ctx.annotation {
-            for i in 0..ann.num_gates() {
-                let id = GateId::new(i as u32);
-                let (r, f) = (ann.gate_rise_ps(id), ann.gate_fall_ps(id));
-                if bad(r) || bad(f) {
-                    out.push(self.finding(
-                        Span::Gate(id),
-                        format!("gate {id:?} has rise {r} ps / fall {f} ps"),
-                    ));
-                }
-            }
-            for i in 0..ann.num_flops() {
-                let id = FlopId::new(i as u32);
-                let d = ann.flop_clk_to_q_ps(id);
-                if bad(d) {
-                    out.push(
-                        self.finding(Span::Flop(id), format!("flop {id:?} has clock-to-Q {d} ps")),
-                    );
-                }
-            }
-        }
         if let Some(tree) = ctx.clock_tree {
             for (i, b) in tree.buffers().iter().enumerate() {
                 if bad(b.delay_ps) {

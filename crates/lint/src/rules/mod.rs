@@ -5,3 +5,4 @@ pub mod grid;
 pub mod netlist;
 pub mod pattern;
 pub mod scan;
+pub mod timing;

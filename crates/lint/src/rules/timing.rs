@@ -1,0 +1,213 @@
+//! Static-timing-layer rules (`TIM00x`).
+//!
+//! The first lint layer that looks at *analysis results* rather than
+//! structure: `TIM001`/`TIM004`/`TIM005` read the precomputed
+//! [`TimingSpec`](crate::context::TimingSpec) (nominal and IR-drop-derated
+//! slacks from `scap_timing::SlackSta`), `TIM002` validates the raw
+//! [`DelayAnnotation`](scap_timing::DelayAnnotation) those analyses trust,
+//! and `TIM003` flags endpoints no launch transition can ever reach.
+
+use crate::context::LintContext;
+use crate::diag::{Finding, Severity, Span};
+use crate::registry::Rule;
+use scap_netlist::{FlopId, GateId};
+
+/// `TIM001` — no endpoint may have negative *nominal* slack: the design
+/// fails timing before any noise is considered, so every measured
+/// "noise-induced" failure on such a path is an artifact.
+#[derive(Debug)]
+pub struct NominalSlack;
+
+impl Rule for NominalSlack {
+    fn id(&self) -> &'static str {
+        "TIM001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "timing"
+    }
+    fn description(&self) -> &'static str {
+        "endpoint with negative nominal slack (fails timing before any supply noise)"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.tim001"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(spec) = &ctx.sta else { return };
+        for &(flop, slack) in &spec.nominal_slack_ps {
+            if slack < 0.0 {
+                out.push(self.finding(
+                    Span::Flop(flop),
+                    format!("endpoint flop {flop:?} has nominal slack {slack:.1} ps"),
+                ));
+            }
+        }
+    }
+}
+
+/// `TIM002` — every annotated cell delay must be finite and non-negative:
+/// gate rise/fall and flop clock-to-Q. STA, the event simulator and the
+/// SCAP window math all trust these without checks. (Clock-*buffer*
+/// delays are the clock layer's `CLK002`.)
+#[derive(Debug)]
+pub struct AnnotationDelaySanity;
+
+impl Rule for AnnotationDelaySanity {
+    fn id(&self) -> &'static str {
+        "TIM002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "timing"
+    }
+    fn description(&self) -> &'static str {
+        "negative or non-finite annotated delay (gate rise/fall or flop clock-to-Q)"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.tim002"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(ann) = ctx.annotation else { return };
+        let bad = |v: f64| !v.is_finite() || v < 0.0;
+        for i in 0..ann.num_gates() {
+            let id = GateId::new(i as u32);
+            let (r, f) = (ann.gate_rise_ps(id), ann.gate_fall_ps(id));
+            if bad(r) || bad(f) {
+                out.push(self.finding(
+                    Span::Gate(id),
+                    format!("gate {id:?} has rise {r} ps / fall {f} ps"),
+                ));
+            }
+        }
+        for i in 0..ann.num_flops() {
+            let id = FlopId::new(i as u32);
+            let d = ann.flop_clk_to_q_ps(id);
+            if bad(d) {
+                out.push(
+                    self.finding(Span::Flop(id), format!("flop {id:?} has clock-to-Q {d} ps")),
+                );
+            }
+        }
+    }
+}
+
+/// `TIM003` — every endpoint must be reachable from at least one launch
+/// flop or primary input; an endpoint fed only by constants can never
+/// capture a transition, so transition faults in its cone are dead weight
+/// in the fault universe.
+#[derive(Debug)]
+pub struct EndpointReachability;
+
+impl Rule for EndpointReachability {
+    fn id(&self) -> &'static str {
+        "TIM003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn layer(&self) -> &'static str {
+        "timing"
+    }
+    fn description(&self) -> &'static str {
+        "endpoint unreachable from any launch flop or primary input (constants only)"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.tim003"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(spec) = &ctx.sta else { return };
+        for &flop in &spec.unreachable_endpoints {
+            out.push(self.finding(
+                Span::Flop(flop),
+                format!("endpoint flop {flop:?} is fed only by constants — no launch can reach it"),
+            ));
+        }
+    }
+}
+
+/// `TIM004` — an endpoint whose IR-drop-*derated* slack falls below the
+/// configured margin still passes nominal signoff but is one droop away
+/// from the paper's "false failure" region; it should be screened or
+/// re-timed.
+#[derive(Debug)]
+pub struct DeratedSlackMargin;
+
+impl Rule for DeratedSlackMargin {
+    fn id(&self) -> &'static str {
+        "TIM004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn layer(&self) -> &'static str {
+        "timing"
+    }
+    fn description(&self) -> &'static str {
+        "endpoint slack under IR-drop derating below the configured margin"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.tim004"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(spec) = &ctx.sta else { return };
+        let Some(derated) = &spec.derated_slack_ps else {
+            return;
+        };
+        let margin = ctx.config.derated_slack_margin_ps;
+        for &(flop, slack) in derated {
+            if slack < margin {
+                out.push(self.finding(
+                    Span::Flop(flop),
+                    format!(
+                        "endpoint flop {flop:?} has derated slack {slack:.1} ps \
+                         (margin {margin:.1} ps)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `TIM005` — the domain period must cover the *derated* critical path:
+/// if the worst path under IR-drop-scaled delays is longer than the
+/// tester cycle, at-speed capture fails structurally (every pattern
+/// through that path is a false failure), not per-pattern.
+#[derive(Debug)]
+pub struct PeriodCoversDeratedCritical;
+
+impl Rule for PeriodCoversDeratedCritical {
+    fn id(&self) -> &'static str {
+        "TIM005"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn layer(&self) -> &'static str {
+        "timing"
+    }
+    fn description(&self) -> &'static str {
+        "clock-domain period shorter than the IR-drop-derated critical path"
+    }
+    fn metric(&self) -> &'static str {
+        "lint.rule.tim005"
+    }
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Finding>) {
+        let Some(spec) = &ctx.sta else { return };
+        let Some(critical) = spec.derated_critical_path_ps else {
+            return;
+        };
+        if critical > spec.period_ps {
+            out.push(self.finding(
+                Span::Clock(spec.clock),
+                format!(
+                    "derated critical path {critical:.1} ps exceeds the {:.1} ps domain period",
+                    spec.period_ps
+                ),
+            ));
+        }
+    }
+}

@@ -5,9 +5,11 @@
 
 use scap::netlist::{BlockId, ClockId, FlopId, GateId, NetSource, Netlist};
 use scap::power::PowerGrid;
+use scap::sta::NoiseAwareSta;
 use scap::{experiments, flows, CaseStudy, PatternAnalyzer};
 use scap_lint::{
     run_all, LintContext, LintReport, MeshKind, MeshSpec, QuietSpec, ScreenSpec, Severity,
+    TimingSpec,
 };
 use std::sync::OnceLock;
 
@@ -78,6 +80,30 @@ fn screen_spec(f: &Fixture) -> ScreenSpec {
     }
 }
 
+/// Real nominal + worst-case-derated STA results of the clean study.
+fn sta_spec(f: &Fixture) -> TimingSpec {
+    let sta = NoiseAwareSta::worst_case(&f.study);
+    TimingSpec::from_analyses(
+        &f.study.design.netlist,
+        f.study.clka(),
+        &sta.nominal,
+        Some(&sta.derated),
+    )
+}
+
+/// A hand-built spec whose every field is comfortably clean; tests
+/// corrupt exactly one field so exactly one TIM rule fires.
+fn clean_hand_spec() -> TimingSpec {
+    TimingSpec {
+        clock: ClockId::new(0),
+        period_ps: 20_000.0,
+        nominal_slack_ps: vec![(FlopId::new(0), 9_000.0), (FlopId::new(1), 12_000.0)],
+        derated_slack_ps: Some(vec![(FlopId::new(0), 7_500.0), (FlopId::new(1), 11_000.0)]),
+        derated_critical_path_ps: Some(12_500.0),
+        unreachable_endpoints: Vec::new(),
+    }
+}
+
 /// Asserts every finding carries the expected rule ID and severity, and
 /// that at least one fired.
 fn assert_only(report: &LintReport, rule: &str, severity: Severity) {
@@ -110,7 +136,8 @@ fn clean_design_has_zero_findings() {
         .with_mesh(MeshSpec::from_grid(MeshKind::Vss, &f.grid))
         .with_patterns(&f.flow.patterns)
         .with_quiet(quiet)
-        .with_screen(screen);
+        .with_screen(screen)
+        .with_sta(sta_spec(f));
     let report = run_all(&ctx);
     assert_eq!(
         report.findings.len(),
@@ -373,17 +400,98 @@ fn clock_tree_cycle_is_clk001() {
 }
 
 #[test]
-fn negative_delay_is_clk002() {
+fn cut_clock_buffer_delay_is_clk002() {
+    let f = fx();
+    let mut tree = f.study.clock_tree.clone();
+    tree.buffer_mut(0).delay_ps = f64::NAN;
+    let ctx = LintContext::new(&f.study.design.netlist).with_timing(&f.study.annotation, &tree);
+    let report = run_all(&ctx);
+    assert_only(&report, "CLK002", Severity::Error);
+    assert_eq!(report.findings[0].span, scap_lint::Span::Buffer(0));
+}
+
+#[test]
+fn negative_annotated_delay_is_tim002() {
     let f = fx();
     let mut ann = f.study.annotation.clone();
     ann.delays_mut().0[3] = -12.0;
     let ctx = LintContext::new(&f.study.design.netlist).with_timing(&ann, &f.study.clock_tree);
     let report = run_all(&ctx);
-    assert_only(&report, "CLK002", Severity::Error);
+    assert_only(&report, "TIM002", Severity::Error);
     assert_eq!(
         report.findings[0].span,
         scap_lint::Span::Gate(GateId::new(3))
     );
+}
+
+#[test]
+fn nan_clk_to_q_is_tim002() {
+    let f = fx();
+    let mut ann = f.study.annotation.clone();
+    ann.delays_mut().2[0] = f64::NAN;
+    let ctx = LintContext::new(&f.study.design.netlist).with_timing(&ann, &f.study.clock_tree);
+    let report = run_all(&ctx);
+    assert_only(&report, "TIM002", Severity::Error);
+    assert_eq!(
+        report.findings[0].span,
+        scap_lint::Span::Flop(FlopId::new(0))
+    );
+}
+
+#[test]
+fn negative_nominal_slack_is_tim001() {
+    let f = fx();
+    let mut spec = clean_hand_spec();
+    spec.nominal_slack_ps[1].1 = -340.0;
+    let ctx = LintContext::new(&f.study.design.netlist).with_sta(spec);
+    let report = run_all(&ctx);
+    assert_only(&report, "TIM001", Severity::Error);
+    assert_eq!(
+        report.findings[0].span,
+        scap_lint::Span::Flop(FlopId::new(1))
+    );
+}
+
+#[test]
+fn unreachable_endpoint_is_tim003() {
+    let f = fx();
+    let mut spec = clean_hand_spec();
+    spec.unreachable_endpoints.push(FlopId::new(0));
+    let ctx = LintContext::new(&f.study.design.netlist).with_sta(spec);
+    let report = run_all(&ctx);
+    assert_only(&report, "TIM003", Severity::Warn);
+    assert_eq!(
+        report.findings[0].span,
+        scap_lint::Span::Flop(FlopId::new(0))
+    );
+}
+
+#[test]
+fn thin_derated_slack_is_tim004() {
+    let f = fx();
+    let mut spec = clean_hand_spec();
+    spec.derated_slack_ps.as_mut().unwrap()[0].1 = 50.0;
+    let ctx = LintContext::new(&f.study.design.netlist).with_sta(spec);
+    let report = run_all(&ctx);
+    assert_only(&report, "TIM004", Severity::Warn);
+    assert_eq!(
+        report.findings[0].span,
+        scap_lint::Span::Flop(FlopId::new(0))
+    );
+}
+
+#[test]
+fn derated_critical_path_over_period_is_tim005() {
+    let f = fx();
+    let mut spec = clean_hand_spec();
+    // Slacks stay comfortably positive so TIM001/TIM004 are mute; only
+    // the recorded critical-path length contradicts the period.
+    spec.derated_critical_path_ps = Some(spec.period_ps + 1_250.0);
+    let clock = spec.clock;
+    let ctx = LintContext::new(&f.study.design.netlist).with_sta(spec);
+    let report = run_all(&ctx);
+    assert_only(&report, "TIM005", Severity::Error);
+    assert_eq!(report.findings[0].span, scap_lint::Span::Clock(clock));
 }
 
 #[test]

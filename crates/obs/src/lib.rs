@@ -78,6 +78,13 @@
 //!   hit/miss split and residual float gauges.
 //! * `exec.*` — the work-stealing executor (`exec.effective_threads` is
 //!   the high-water worker count `evaluation.rs` reports).
+//! * `sta.*` — noise-aware static timing analysis. `sta.runs` /
+//!   `sta.derated_runs` count nominal and IR-drop-derated slack passes;
+//!   `sta.endpoints` and `sta.negative_slack_endpoints` size them;
+//!   `sta.risk.{critical,high,moderate,low}` is the fault risk-tier
+//!   histogram ATPG prioritization consumes; `sta.screen.patterns` /
+//!   `sta.screen.invalidated` count patterns pushed through the derated
+//!   launch-to-capture timing screen and those exceeding the cycle.
 //! * `compact.*`, `screen.*`, `flow.*`, `ablation.*`, `lint.*`,
 //!   `serve.*` — per-layer event counts named after what they count.
 

@@ -188,7 +188,17 @@ impl LintParams {
 /// design, the noise-aware flow's patterns and both supply meshes.
 /// Shared by the `scap lint` subcommand and `POST /v1/lint`.
 pub fn lint_report(study: &CaseStudy) -> scap_lint::LintReport {
-    use scap_lint::{LintContext, MeshKind, MeshSpec, QuietSpec, ScreenSpec};
+    lint_report_with(study, scap_lint::all_rules())
+}
+
+/// [`lint_report`] restricted to an explicit rule set — what backs the
+/// CLI's `--only <RULEPREFIX>` filter. The context is still assembled in
+/// full so cross-layer rules see the same inputs either way.
+pub fn lint_report_with(
+    study: &CaseStudy,
+    rules: Vec<Box<dyn scap_lint::Rule>>,
+) -> scap_lint::LintReport {
+    use scap_lint::{LintContext, MeshKind, MeshSpec, QuietSpec, ScreenSpec, TimingSpec};
 
     let flow = flows::noise_aware(study);
 
@@ -217,6 +227,15 @@ pub fn lint_report(study: &CaseStudy) -> scap_lint::LintReport {
         .map(|(p, _)| p)
         .collect();
 
+    // Timing layer: nominal + worst-case-derated slack per endpoint.
+    let sta = scap::sta::NoiseAwareSta::worst_case(study);
+    let timing_spec = TimingSpec::from_analyses(
+        &study.design.netlist,
+        study.clka(),
+        &sta.nominal,
+        Some(&sta.derated),
+    );
+
     let grid = scap::power::PowerGrid::new(study.design.floorplan.die, study.grid);
     let ctx = LintContext::new(&study.design.netlist)
         .with_timing(&study.annotation, &study.clock_tree)
@@ -232,8 +251,9 @@ pub fn lint_report(study: &CaseStudy) -> scap_lint::LintReport {
             thresholds_mw: thresholds,
             pattern_block_mw,
             emitted,
-        });
-    scap_lint::run_all(&ctx)
+        })
+        .with_sta(timing_spec);
+    scap_lint::run_rules(&ctx, rules)
 }
 
 /// Design-rule check of the cached design as JSON.
@@ -244,6 +264,133 @@ pub fn lint(cache: &DesignCache, p: &LintParams) -> Response {
     root.f64("scale", p.common.scale)
         .u64("seed", p.common.seed)
         .raw("lint", &report.render_json());
+    Response::json(200, root.finish())
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/sta
+// ---------------------------------------------------------------------
+
+/// Parsed `/v1/sta` request.
+#[derive(Clone, Copy, Debug)]
+pub struct StaParams {
+    /// Shared scale/seed pair.
+    pub common: CommonParams,
+    /// Whether to also run the IR-drop-derated analysis.
+    pub derate: bool,
+    /// Derating aggressiveness: multiplies the library's calibrated
+    /// delay-vs-droop sensitivity. `1.0` is the calibrated worst case.
+    pub k: f64,
+    /// How many worst paths to trace.
+    pub paths: usize,
+}
+
+impl StaParams {
+    /// Validates a request's parameters.
+    pub fn parse(args: &Args) -> Result<Self, String> {
+        reject_unknown(args, &with_common(&["derate", "k", "paths"]))?;
+        let derate = match args.get("derate") {
+            None | Some("false") | Some("0") => false,
+            Some("true") | Some("1") | Some("") => true,
+            Some(other) => return Err(format!("derate expects true or false, got '{other}'")),
+        };
+        let k = args.f64_flag("k")?.unwrap_or(1.0);
+        if !k.is_finite() || k <= 0.0 {
+            return Err(format!("k expects a positive factor, got {k}"));
+        }
+        Ok(StaParams {
+            common: CommonParams::parse(args)?,
+            derate,
+            k,
+            paths: args.usize_flag("paths", 3)?,
+        })
+    }
+}
+
+fn paths_json(paths: &[scap::timing::PathReport], netlist: &scap_netlist::Netlist) -> String {
+    let mut arr = Arr::new();
+    for p in paths {
+        let mut o = Obj::new();
+        o.str("endpoint", &netlist.flop(p.endpoint).name)
+            .f64("data_arrival_ps", p.data_arrival_ps)
+            .f64("slack_ps", p.slack_ps)
+            .u64("depth", p.depth() as u64);
+        arr.raw(&o.finish());
+    }
+    arr.finish()
+}
+
+/// Nominal (and optionally IR-drop-derated) slack analysis as JSON.
+pub fn sta(cache: &DesignCache, p: &StaParams) -> Response {
+    use scap::timing::SlackSta;
+
+    let study = cache.get_or_build(p.common.scale, p.common.seed);
+    let n = &study.design.netlist;
+    let mut root = Obj::new();
+    root.f64("scale", p.common.scale)
+        .u64("seed", p.common.seed)
+        .f64("period_ps", study.period_ps())
+        .bool("derate", p.derate);
+    if p.derate {
+        let sta = scap::sta::NoiseAwareSta::with_derate(&study, p.k);
+        let faults = scap::sim::FaultList::full(n);
+        let mut endpoints = Arr::new();
+        for (flop, nom, der) in sta.endpoint_slacks() {
+            let mut o = Obj::new();
+            o.str("flop", &n.flop(flop).name)
+                .f64("nominal_slack_ps", nom)
+                .f64("derated_slack_ps", der)
+                .str(
+                    "tier",
+                    scap::timing::RiskTier::classify(der, study.period_ps()).label(),
+                );
+            endpoints.raw(&o.finish());
+        }
+        let mut tiers = Obj::new();
+        for (tier, count) in sta.tier_histogram(n, &faults) {
+            tiers.u64(tier.label(), count as u64);
+        }
+        root.f64("k_factor", p.k)
+            .f64(
+                "nominal_worst_slack_ps",
+                sta.nominal.worst_slack_ps().unwrap_or(f64::INFINITY),
+            )
+            .f64(
+                "derated_worst_slack_ps",
+                sta.derated.worst_slack_ps().unwrap_or(f64::INFINITY),
+            )
+            .f64("nominal_critical_path_ps", sta.nominal.critical_path_ps())
+            .f64("derated_critical_path_ps", sta.derated.critical_path_ps())
+            .raw("fault_tiers", &tiers.finish())
+            .raw("endpoints", &endpoints.finish())
+            .raw(
+                "worst_paths",
+                &paths_json(&sta.derated.worst_paths(n, p.paths), n),
+            );
+    } else {
+        let nominal = SlackSta::run(n, &study.annotation, &study.arrivals);
+        let mut endpoints = Arr::new();
+        for e in nominal.endpoints() {
+            let mut o = Obj::new();
+            o.str("flop", &n.flop(e.flop).name)
+                .f64("nominal_slack_ps", e.slack_ps());
+            endpoints.raw(&o.finish());
+        }
+        root.f64(
+            "nominal_worst_slack_ps",
+            nominal.worst_slack_ps().unwrap_or(f64::INFINITY),
+        )
+        .f64("nominal_critical_path_ps", nominal.critical_path_ps())
+        .u64(
+            "unreachable_endpoints",
+            nominal.unreachable_endpoints(n).len() as u64,
+        )
+        .raw("endpoints", &endpoints.finish())
+        .raw(
+            "worst_paths",
+            &paths_json(&nominal.worst_paths(n, p.paths), n),
+        );
+    }
     Response::json(200, root.finish())
 }
 
@@ -490,6 +637,21 @@ mod tests {
         assert!(DesignParams::parse(&args).is_err());
         let args = Args::from_query("scale=0.01&seed=5&deadline_ms=100");
         assert!(DesignParams::parse(&args).is_ok());
+    }
+
+    #[test]
+    fn sta_params_parse_strictly() {
+        let p = StaParams::parse(&Args::from_query("")).unwrap();
+        assert!(!p.derate);
+        assert_eq!(p.k, 1.0);
+        assert_eq!(p.paths, 3);
+        let p = StaParams::parse(&Args::from_query("derate=true&k=4.5&paths=10")).unwrap();
+        assert!(p.derate);
+        assert_eq!(p.k, 4.5);
+        assert_eq!(p.paths, 10);
+        assert!(StaParams::parse(&Args::from_query("derate=maybe")).is_err());
+        assert!(StaParams::parse(&Args::from_query("k=-2")).is_err());
+        assert!(StaParams::parse(&Args::from_query("scael=0.01")).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `GET /metrics`      | the full `scap-obs` registry as JSON             |
 //! | `GET /v1/design`    | Tables 1–2 design report                         |
 //! | `POST /v1/lint`     | cross-layer design-rule check                    |
+//! | `POST /v1/sta`      | nominal / IR-drop-derated slack analysis         |
 //! | `POST /v1/profile`  | per-pattern SCAP + screen verdicts               |
 //! | `POST /v1/schedule` | power-constrained session scheduling             |
 //! | `POST /v1/shutdown` | graceful drain + exit                            |
@@ -44,7 +45,7 @@ pub mod loadgen;
 pub mod params;
 pub mod pool;
 
-pub use handlers::lint_report;
+pub use handlers::{lint_report, lint_report_with};
 
 use cache::DesignCache;
 use http::{read_request, ReadError, Request, Response};
@@ -238,6 +239,7 @@ enum Route {
     Shutdown,
     Design,
     Lint,
+    Sta,
     Profile,
     Schedule,
     Sleep,
@@ -251,6 +253,7 @@ impl Route {
             "/v1/shutdown" => Route::Shutdown,
             "/v1/design" => Route::Design,
             "/v1/lint" => Route::Lint,
+            "/v1/sta" => Route::Sta,
             "/v1/profile" => Route::Profile,
             "/v1/schedule" => Route::Schedule,
             "/v1/sleep" => Route::Sleep,
@@ -258,7 +261,7 @@ impl Route {
         };
         let expected = match route {
             Route::Healthz | Route::Metrics | Route::Design | Route::Sleep => "GET",
-            Route::Shutdown | Route::Lint | Route::Profile | Route::Schedule => "POST",
+            Route::Shutdown | Route::Lint | Route::Sta | Route::Profile | Route::Schedule => "POST",
         };
         if method != expected {
             return Err(Response::error(405, &format!("{path} expects {expected}"))
@@ -274,6 +277,7 @@ impl Route {
             Route::Shutdown => "serve.req.shutdown",
             Route::Design => "serve.req.design",
             Route::Lint => "serve.req.lint",
+            Route::Sta => "serve.req.sta",
             Route::Profile => "serve.req.profile",
             Route::Schedule => "serve.req.schedule",
             Route::Sleep => "serve.req.sleep",
@@ -287,6 +291,7 @@ impl Route {
             Route::Shutdown => "serve.handle.shutdown",
             Route::Design => "serve.handle.design",
             Route::Lint => "serve.handle.lint",
+            Route::Sta => "serve.handle.sta",
             Route::Profile => "serve.handle.profile",
             Route::Schedule => "serve.handle.schedule",
             Route::Sleep => "serve.handle.sleep",
@@ -315,9 +320,12 @@ fn handle_request(ctx: &ServerCtx, req: &Request) -> Response {
             Response::json(200, obj.finish())
         }
         Route::Sleep if !ctx.cfg.debug_endpoints => Response::error(404, "no such endpoint"),
-        Route::Design | Route::Lint | Route::Profile | Route::Schedule | Route::Sleep => {
-            pooled(ctx, route, &args)
-        }
+        Route::Design
+        | Route::Lint
+        | Route::Sta
+        | Route::Profile
+        | Route::Schedule
+        | Route::Sleep => pooled(ctx, route, &args),
     }
 }
 
@@ -347,6 +355,10 @@ fn pooled(ctx: &ServerCtx, route: Route, args: &Args) -> Response {
         },
         Route::Lint => match handlers::LintParams::parse(args) {
             Ok(p) => Box::new(move || handlers::lint(&cache, &p)),
+            Err(msg) => return Response::error(400, &msg),
+        },
+        Route::Sta => match handlers::StaParams::parse(args) {
+            Ok(p) => Box::new(move || handlers::sta(&cache, &p)),
             Err(msg) => return Response::error(400, &msg),
         },
         Route::Profile => match handlers::ProfileParams::parse(args) {

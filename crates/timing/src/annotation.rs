@@ -139,7 +139,7 @@ impl DelayAnnotation {
     ///
     /// Used by [`crate::scaling`] to apply IR-drop derating, and by
     /// defect-injection tests that corrupt an annotation (negative or
-    /// non-finite delays are caught by the `CLK002` lint rule). Values
+    /// non-finite delays are caught by the `TIM002` lint rule). Values
     /// written here are trusted by STA without further validation.
     pub fn delays_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64]) {
         (

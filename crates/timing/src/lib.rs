@@ -40,8 +40,10 @@
 mod annotation;
 mod clock_tree;
 pub mod scaling;
+mod slack;
 mod sta;
 
 pub use annotation::DelayAnnotation;
 pub use clock_tree::{ClockArrivals, ClockTree, TreeBuffer};
+pub use slack::{RiskTier, SlackSta};
 pub use sta::{EndpointTiming, PathReport, Sta};

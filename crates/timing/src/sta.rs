@@ -135,39 +135,23 @@ impl Sta {
     /// Traces the `count` worst paths: for each of the latest-arriving
     /// endpoints, walks back through the max-arrival predecessor at every
     /// gate until a launch point (flop Q, primary input or constant).
+    ///
+    /// Fully deterministic: endpoints with equal arrivals are ordered by
+    /// flop id, and arrival ties during the walk-back resolve to the
+    /// lowest net id, so the report is byte-identical across runs and
+    /// thread counts.
     pub fn worst_paths(&self, netlist: &Netlist, count: usize) -> Vec<PathReport> {
         let mut order: Vec<&EndpointTiming> = self.endpoints.iter().collect();
         order.sort_by(|a, b| {
             b.data_arrival_ps
-                .partial_cmp(&a.data_arrival_ps)
-                .expect("arrivals are finite")
+                .total_cmp(&a.data_arrival_ps)
+                .then_with(|| a.flop.index().cmp(&b.flop.index()))
         });
         order
             .into_iter()
             .take(count)
             .map(|ep| {
-                let mut nets = Vec::new();
-                let mut net = netlist.flop(ep.flop).d;
-                loop {
-                    nets.push((net, self.arrival_ps(net)));
-                    match netlist.net(net).source {
-                        Some(NetSource::Gate(g)) => {
-                            let gate = netlist.gate(g);
-                            net = gate
-                                .inputs
-                                .iter()
-                                .copied()
-                                .max_by(|a, b| {
-                                    self.arrival_ps(*a)
-                                        .partial_cmp(&self.arrival_ps(*b))
-                                        .expect("arrivals are finite")
-                                })
-                                .expect("gates have inputs");
-                        }
-                        _ => break,
-                    }
-                }
-                nets.reverse();
+                let nets = trace_path(netlist, |n| self.arrival_ps(n), ep.flop);
                 PathReport {
                     endpoint: ep.flop,
                     data_arrival_ps: ep.data_arrival_ps,
@@ -177,6 +161,40 @@ impl Sta {
             })
             .collect()
     }
+}
+
+/// Walks back from an endpoint's D net through the max-arrival
+/// predecessor at every gate until a launch point (flop Q, primary input
+/// or constant). Arrival ties resolve to the lowest net id so the traced
+/// path is unique. Returns `(net, arrival)` pairs, launch first.
+pub(crate) fn trace_path(
+    netlist: &Netlist,
+    arrival_ps: impl Fn(NetId) -> f64,
+    endpoint: FlopId,
+) -> Vec<(NetId, f64)> {
+    let mut nets = Vec::new();
+    let mut net = netlist.flop(endpoint).d;
+    loop {
+        nets.push((net, arrival_ps(net)));
+        match netlist.net(net).source {
+            Some(NetSource::Gate(g)) => {
+                let gate = netlist.gate(g);
+                net = gate
+                    .inputs
+                    .iter()
+                    .copied()
+                    .min_by(|a, b| {
+                        arrival_ps(*b)
+                            .total_cmp(&arrival_ps(*a))
+                            .then_with(|| a.index().cmp(&b.index()))
+                    })
+                    .expect("gates have inputs");
+            }
+            _ => break,
+        }
+    }
+    nets.reverse();
+    nets
 }
 
 /// One traced timing path, launch to capture.
@@ -280,6 +298,43 @@ mod tests {
         }
         // The path's final arrival is the endpoint arrival.
         assert!((worst.nets.last().unwrap().1 - worst.data_arrival_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_paths_break_arrival_ties_by_flop_id() {
+        // Two flops capturing the same net arrive at exactly the same
+        // time; the report must list the lower flop id first, every run.
+        let mut b = NetlistBuilder::new("tie");
+        let blk = b.add_block("B1");
+        let clk = b.add_clock_domain("clka", 100e6);
+        let pi = b.add_primary_input("pi");
+        let q0 = b.add_net("q0");
+        let y = b.add_net("y");
+        b.add_gate(CellKind::Inv, &[q0], y, blk).unwrap();
+        let qa = b.add_net("qa");
+        let qb = b.add_net("qb");
+        b.add_flop("ff0", pi, q0, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ffa", y, qa, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        b.add_flop("ffb", y, qb, clk, ClockEdge::Rising, blk)
+            .unwrap();
+        let n = b.finish().unwrap();
+        let fp = Floorplan::new(
+            &n,
+            Die::square(100.0),
+            vec![Rect::new(0.0, 0.0, 100.0, 100.0)],
+            Placement::new(
+                vec![Point::new(50.0, 50.0)],
+                vec![Point::new(50.0, 50.0); 3],
+            ),
+        );
+        let ann = DelayAnnotation::extract(&n, &fp);
+        let tree = ClockTree::synthesize(&n, &fp, ClockId::new(0));
+        let sta = Sta::run(&n, &ann, &tree.arrivals());
+        let paths = sta.worst_paths(&n, 3);
+        assert_eq!(paths[0].data_arrival_ps, paths[1].data_arrival_ps);
+        assert!(paths[0].endpoint.index() < paths[1].endpoint.index());
     }
 
     #[test]

@@ -38,7 +38,33 @@ if [ "$fast" -eq 0 ]; then
     cargo build --offline --release -q -p scap-cli
     ./target/release/scap lint --scale 0.005 --deny warn
     ./target/release/scap lint --scale 0.01 --format json --deny warn | python3 -m json.tool >/dev/null
-    echo "lint clean at scales 0.005 and 0.01; JSON output parses."
+    ./target/release/scap lint --scale 0.005 --only TIM --deny warn
+    if ./target/release/scap lint --scale 0.005 --only ZZZ 2>/dev/null; then
+        echo "expected --only with an unknown rule prefix to fail" >&2
+        exit 1
+    fi
+    echo "lint clean at scales 0.005 and 0.01; JSON output parses; --only filter works."
+
+    echo "== sta smoke (derated slack analysis, sta.* counters engaged) =="
+    sta_out=$(./target/release/scap sta --scale 0.004 --derate --metrics)
+    for counter in sta.runs sta.derated_runs sta.endpoints; do
+        val=$(printf '%s\n' "$sta_out" | awk -v c="$counter" '$1 == c { print $2 }')
+        if [ -z "${val:-}" ] || [ "$val" -eq 0 ]; then
+            echo "expected $counter > 0 in scap sta --metrics output" >&2
+            exit 1
+        fi
+        echo "  $counter = $val"
+    done
+    derated_lines=$(printf '%s\n' "$sta_out" | grep -c "derated" || true)
+    if [ "$derated_lines" -eq 0 ]; then
+        echo "expected at least one derated-slack line in scap sta --derate output" >&2
+        exit 1
+    fi
+    printf '%s\n' "$sta_out" | grep -q "fault risk tiers:" || {
+        echo "expected a fault risk tier histogram in scap sta --derate output" >&2
+        exit 1
+    }
+    echo "sta smoke passed."
 
     echo "== fault-sim kernel smoke (pruning/collapsing/sharding/block kernel engaged) =="
     prof=$(./target/release/scap profile --scale 0.004 --metrics)
@@ -111,10 +137,11 @@ assert stages, "no stage carries fault_sim_checks_per_sec"
 for s in stages:
     assert s["fault_sim_checks_per_sec"] > 0, f"zero throughput in {s['name']}"
 totals = doc["totals"]
-for c in ("sat.solves", "sat.conflicts", "atpg.reclassified_untestable"):
+for c in ("sat.solves", "sat.conflicts", "atpg.reclassified_untestable",
+          "sta.runs", "sta.derated_runs", "sta.screen.patterns", "sta.screen.invalidated"):
     assert totals.get(c, 0) > 0, f"expected {c} > 0 in totals"
 PY
-        echo "BENCH_evaluation.json parses; fault-sim throughput and SAT solver counters carried."
+        echo "BENCH_evaluation.json parses; fault-sim, SAT and STA counters carried."
     else
         echo "BENCH_evaluation.json not present; skipping."
     fi

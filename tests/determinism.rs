@@ -21,6 +21,13 @@ struct Snapshot {
     first_detection: Vec<Option<usize>>,
     curve: Vec<(usize, usize)>,
     kept: Vec<usize>,
+    /// Per-endpoint (flop id, nominal slack, derated slack), slacks as
+    /// raw bits, endpoints in report order.
+    sta: Vec<(u32, u64, u64)>,
+    /// Worst-path endpoints + per-net arrival bits of the derated STA.
+    sta_paths: Vec<(u32, Vec<u64>)>,
+    /// Per-pattern derated max endpoint delay, as raw bits.
+    screen: Vec<u64>,
 }
 
 /// Runs every parallelized hot loop on `study` + `set` and captures the
@@ -54,12 +61,37 @@ fn snapshot(study: &CaseStudy, faults: &FaultList, set: &PatternSet) -> Snapshot
     let clka = study.clka();
     let grade = grade_patterns(n, clka, faults, set);
     let (kept, _) = compact_patterns(n, clka, faults, set);
+    let noise_sta = scap::sta::NoiseAwareSta::worst_case(study);
+    let sta = noise_sta
+        .endpoint_slacks()
+        .iter()
+        .map(|&(f, nom, der)| (f.index() as u32, nom.to_bits(), der.to_bits()))
+        .collect();
+    let sta_paths = noise_sta
+        .derated
+        .worst_paths(n, 5)
+        .iter()
+        .map(|p| {
+            (
+                p.endpoint.index() as u32,
+                p.nets.iter().map(|&(_, a)| a.to_bits()).collect(),
+            )
+        })
+        .collect();
+    let screen = scap::sta::TimingScreen::run(study, set, 1.0)
+        .max_derated_delay_ps
+        .iter()
+        .map(|d| d.to_bits())
+        .collect();
     Snapshot {
         power,
         irdrop,
         first_detection: grade.first_detection,
         curve: grade.curve,
         kept,
+        sta,
+        sta_paths,
+        screen,
     }
 }
 
@@ -103,6 +135,18 @@ fn hot_loops_are_bit_identical_across_thread_counts() {
         assert_eq!(
             serial.kept, parallel.kept,
             "compaction kept-set diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.sta, parallel.sta,
+            "nominal/derated endpoint slacks diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.sta_paths, parallel.sta_paths,
+            "derated worst-path reports diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.screen, parallel.screen,
+            "derated pattern timing screen diverged at {threads} threads"
         );
     }
     std::env::remove_var("SCAP_THREADS");
