@@ -16,9 +16,17 @@
 //! worker-thread counts and the design scale, so serial-vs-parallel
 //! comparisons are machine-checkable and hot stages are attributable to
 //! actual work rather than guessed at.
+//!
+//! The final stages (`cluster_profile_{1,2,4}w`) benchmark the sharded
+//! serving tier: real `scap-cluster-worker` processes behind the
+//! consistent-hash coordinator, answering a rotating `/v1/profile`
+//! burst over eight shard keys. Their `requests_per_sec` fields are
+//! what `scripts/check.sh` holds the committed scaling claims against.
 
 use scap::{ablation, experiments, flows, CaseStudy, PatternAnalyzer};
-use std::time::Instant;
+use scap_cluster::{ClusterConfig, Coordinator, Ring, DEFAULT_REPLICAS};
+use scap_serve::loadgen;
+use std::time::{Duration, Instant};
 
 /// One timed pipeline stage: wall-clock plus the counter activity it
 /// caused (deltas of the process-wide `scap-obs` registry across the
@@ -30,6 +38,9 @@ struct Stage {
     /// Fault-simulation throughput over the stage (launch/detect checks
     /// per wall-clock second), when the stage ran any.
     checks_per_sec: Option<f64>,
+    /// HTTP throughput over the stage (completed requests per
+    /// wall-clock second), for the cluster serving stages.
+    requests_per_sec: Option<f64>,
 }
 
 /// Per-stage wall-clock + metrics collector feeding
@@ -60,8 +71,18 @@ impl StageClock {
             ms,
             metrics,
             checks_per_sec,
+            requests_per_sec: None,
         });
         out
+    }
+
+    /// Stamps HTTP throughput onto the most recent stage, returning the
+    /// value for the caller's own reporting.
+    fn annotate_requests_per_sec(&mut self, completed: usize) -> f64 {
+        let stage = self.stages.last_mut().expect("a stage was just timed");
+        let rps = completed as f64 / (stage.ms / 1e3);
+        stage.requests_per_sec = Some(rps);
+        rps
     }
 
     /// Renders the collected stages as a JSON document, built with the
@@ -94,6 +115,9 @@ impl StageClock {
             if let Some(cps) = stage.checks_per_sec {
                 o.raw("fault_sim_checks_per_sec", &f64_token_fixed(cps, 1));
             }
+            if let Some(rps) = stage.requests_per_sec {
+                o.raw("requests_per_sec", &f64_token_fixed(rps, 2));
+            }
             o.raw("metrics", &metrics.finish());
             stages.raw(&o.finish());
         }
@@ -112,6 +136,176 @@ impl StageClock {
             .raw("stages", &stages.finish())
             .raw("totals", &tot.finish());
         scap_obs::json::pretty(&root.finish())
+    }
+}
+
+/// Scale of the cluster serving-tier stages. Kept as the literal query
+/// string so the shard keys computed here match the ones the
+/// coordinator derives from the request bytes.
+const CLUSTER_SCALE: &str = "0.004";
+/// Distinct `(scale, seed)` shard keys rotating through the burst.
+const CLUSTER_KEYS: usize = 8;
+/// Per-worker response/design cache capacity: **half** the shard-key
+/// count, so a lone worker cycling through all eight keys evicts every
+/// entry before its next use (LRU's pathological pattern) while two or
+/// four workers hold their four- or two-key shards fully resident.
+const CLUSTER_CACHE_CAP: usize = 4;
+
+/// `scap-cluster-worker` sits next to this binary when the workspace
+/// was built at the same profile; `None` (stage skipped) otherwise.
+fn cluster_worker_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.join("scap-cluster-worker");
+    bin.is_file().then_some(bin)
+}
+
+/// Eight profile seeds splitting 8 / 4+4 / 2+2+2+2 across the 1-, 2-
+/// and 4-worker fleets, so per-fleet cache residency is by
+/// construction, not luck. Consistent hashing constrains the reachable
+/// `(owner under a 2-slot ring, owner under a 4-slot ring)` pairs:
+/// growing a ring only moves keys *to the new slots*, so a key owned by
+/// slot 0 or 1 on the 4-ring has the same owner on the 2-ring. The
+/// quota below is the unique per-pair count that balances both rings
+/// under that constraint.
+fn balanced_cluster_seeds() -> Vec<u64> {
+    let scale: f64 = CLUSTER_SCALE.parse().expect("literal parses");
+    let ring2 = Ring::new(2, DEFAULT_REPLICAS);
+    let ring4 = Ring::new(4, DEFAULT_REPLICAS);
+    // quota[o2][o4]: keys staying on slot 0/1 pin o2 == o4 (two each);
+    // keys moving to slot 2/3 split evenly between the 2-ring owners.
+    let mut quota = [[2, 0, 1, 1], [0, 2, 1, 1]];
+    let mut seeds = Vec::with_capacity(CLUSTER_KEYS);
+    for seed in 1..100_000u64 {
+        let key = Ring::shard_key(scale, seed);
+        let slot = &mut quota[ring2.owner(key)][ring4.owner(key)];
+        if *slot > 0 {
+            *slot -= 1;
+            seeds.push(seed);
+            if seeds.len() == CLUSTER_KEYS {
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        seeds.len(),
+        CLUSTER_KEYS,
+        "ring-balanced seed quota unfilled below seed 100000"
+    );
+    seeds
+}
+
+/// Boots a `workers`-process fleet behind an in-process coordinator,
+/// warms every shard once (untimed), then times a rotating burst over
+/// the eight shard keys. Returns the burst's requests per second.
+fn cluster_stage(
+    clock: &mut StageClock,
+    name: &'static str,
+    worker_bin: &std::path::Path,
+    workers: usize,
+    targets: &[(String, String)],
+) -> f64 {
+    let worker_command = [
+        worker_bin.to_str().expect("target paths are UTF-8"),
+        "--workers",
+        "2",
+        "--queue-depth",
+        "64",
+        "--cache-capacity",
+        &CLUSTER_CACHE_CAP.to_string(),
+        "--cache-cap",
+        &CLUSTER_CACHE_CAP.to_string(),
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let coordinator = Coordinator::launch(ClusterConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        worker_command,
+        // No hedging here: duplicated recomputes would flatter the
+        // small fleets by borrowing idle neighbours' capacity.
+        hedge: Duration::from_secs(600),
+        ..ClusterConfig::default()
+    })
+    .expect("launching the cluster fleet");
+    let addr = coordinator.local_addr();
+    let shutdown = coordinator.shutdown_handle();
+    let join = std::thread::spawn(move || coordinator.run().expect("coordinator run"));
+
+    // Untimed warm pass: every shard key answered once, so each fleet
+    // starts the timed burst with whatever residency its per-worker
+    // caches can actually sustain.
+    let warm = loadgen::burst_targets(addr, "POST", targets, targets.len(), 1);
+    assert_eq!(warm.transport_errors, 0, "cluster warm pass lost requests");
+    assert_eq!(
+        warm.count(200),
+        targets.len(),
+        "cluster warm pass statuses: {:?}",
+        warm.statuses
+    );
+
+    let per_thread = 4;
+    let report = clock.time(name, || {
+        loadgen::burst_targets(addr, "POST", targets, targets.len(), per_thread)
+    });
+    let expected = targets.len() * per_thread;
+    assert_eq!(report.transport_errors, 0, "cluster burst lost requests");
+    assert_eq!(
+        report.count(200),
+        expected,
+        "cluster burst statuses: {:?}",
+        report.statuses
+    );
+    let rps = clock.annotate_requests_per_sec(expected);
+
+    shutdown.signal();
+    join.join().expect("coordinator thread panicked");
+    rps
+}
+
+/// The serving-tier benchmark: `POST /v1/profile` over eight shard
+/// keys against 1-, 2- and 4-worker fleets. The machine may well have
+/// a single CPU — what scales is *aggregate cache capacity*: the lone
+/// worker's caps-4 caches thrash under the eight-key rotation and
+/// recompute every profile, while the sharded fleets keep every key
+/// resident and answer from cache at wire speed.
+fn cluster_scaling(clock: &mut StageClock) {
+    let Some(worker_bin) = cluster_worker_binary() else {
+        println!(
+            "cluster scaling skipped: scap-cluster-worker not found next to this \
+             binary (build the full workspace at the same profile first)"
+        );
+        return;
+    };
+    let seeds = balanced_cluster_seeds();
+    let targets: Vec<(String, String)> = seeds
+        .iter()
+        .map(|seed| {
+            (
+                "/v1/profile".to_owned(),
+                format!("scale={CLUSTER_SCALE}&seed={seed}&deadline_ms=120000"),
+            )
+        })
+        .collect();
+    let mut results = Vec::new();
+    for (name, workers) in [
+        ("cluster_profile_1w", 1usize),
+        ("cluster_profile_2w", 2),
+        ("cluster_profile_4w", 4),
+    ] {
+        let rps = cluster_stage(clock, name, &worker_bin, workers, &targets);
+        results.push((workers, rps));
+    }
+    println!(
+        "Cluster serving tier (POST /v1/profile, {CLUSTER_KEYS} shard keys, \
+         per-worker cache capacity {CLUSTER_CACHE_CAP}):"
+    );
+    let baseline = results[0].1;
+    for &(workers, rps) in &results {
+        println!(
+            "  {workers} worker(s): {rps:>8.2} req/s  ({:.1}x the single-worker fleet)",
+            rps / baseline
+        );
     }
 }
 
@@ -364,6 +558,13 @@ fn main() {
         sat_delta("sat.conflicts"),
         sat_delta("sat.propagations"),
     );
+
+    // Cluster serving tier: aggregate warm-cache capacity scaling.
+    println!(
+        "\n[{}s] running cluster serving-tier scaling …",
+        t0.elapsed().as_secs()
+    );
+    cluster_scaling(&mut clock);
 
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!("\ntotal wall time: {:.0} s", total_ms / 1e3);

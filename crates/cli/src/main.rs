@@ -9,6 +9,7 @@
 //! scap schedule --scale 0.01 --budget <mW>              session scheduling
 //! scap lint     --scale 0.01 [--format json] [--deny warn]   design-rule check
 //! scap serve    --addr 127.0.0.1:7878                   resident HTTP API
+//! scap cluster  --workers 4 [--port 7900]               sharded serving tier
 //! scap evaluate                                         every table + figure
 //! ```
 //!
@@ -41,7 +42,7 @@ macro_rules! try_flag {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scap <generate|atpg|profile|schedule|paths|sta|lint|serve|evaluate> [--scale S] [--seed N] [--threads N] [options]\n\
+        "usage: scap <generate|atpg|profile|schedule|paths|sta|lint|serve|cluster|evaluate> [--scale S] [--seed N] [--threads N] [options]\n\
          \n  generate   build the case-study SOC; Tables 1-2; --verilog FILE to dump netlist\
          \n  atpg       run a flow: --flow conventional|noise-aware (default noise-aware),\
          \n             --fill random-fill|fill-0|fill-1|fill-adjacent, --stil FILE, --compact,\
@@ -62,7 +63,15 @@ fn usage() -> ExitCode {
          \n             exit 0 clean, 1 findings at or above the deny level, 2 usage\
          \n  serve      resident HTTP JSON API (see docs/SERVER.md):\
          \n             --addr HOST:PORT (default 127.0.0.1:7878; port 0 = ephemeral),\
-         \n             --workers N, --queue-depth N, --cache-capacity N, --deadline-ms MS\
+         \n             --workers N, --queue-depth N, --cache-capacity N (design LRU),\
+         \n             --cache-cap N (response LRU), --deadline-ms MS\
+         \n  cluster    sharded serving tier: a coordinator proxy over N scap-serve\
+         \n             worker processes, consistent-hash routed on (scale, seed)\
+         \n             (see docs/SERVER.md): --workers N (default 2),\
+         \n             --addr HOST:PORT / --port P (default 127.0.0.1:7900),\
+         \n             --hedge-ms MS (default 1000), --probe-ms MS (default 500),\
+         \n             plus per-worker --worker-threads, --queue-depth,\
+         \n             --cache-capacity, --cache-cap\
          \n  evaluate   every table and figure of the paper (long)\
          \n\
          \n  --threads N  worker threads for the parallel hot loops; always wins\
@@ -95,6 +104,7 @@ fn main() -> ExitCode {
         "sta" => sta(&args),
         "lint" => lint(&args),
         "serve" => serve(&args),
+        "cluster" => cluster(&args),
         "evaluate" => evaluate(&args),
         _ => usage(),
     }
@@ -322,6 +332,7 @@ fn serve(args: &Args) -> ExitCode {
         workers: try_flag!(args.usize_flag("workers", 2)),
         queue_depth: try_flag!(args.usize_flag("queue-depth", 16)),
         cache_capacity: try_flag!(args.usize_flag("cache-capacity", 4)),
+        response_cache_capacity: try_flag!(args.usize_flag("cache-cap", 32)),
         default_deadline: std::time::Duration::from_millis(try_flag!(
             args.usize_flag("deadline-ms", 60_000)
         ) as u64),
@@ -345,6 +356,90 @@ fn serve(args: &Args) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `scap cluster` — boots the sharded serving tier: this process
+/// becomes the coordinator, spawning `--workers` copies of itself
+/// running `scap serve` on ephemeral ports and routing requests by
+/// consistent hashing on `(scale, seed)`. Blocks until
+/// `POST /v1/shutdown` drains coordinator and fleet alike.
+fn cluster(args: &Args) -> ExitCode {
+    let addr = match (args.get("addr"), args.get("port")) {
+        (Some(a), _) => a.to_owned(),
+        (None, Some(p)) => format!("127.0.0.1:{p}"),
+        (None, None) => "127.0.0.1:7900".to_owned(),
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot resolve own executable for worker spawning: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Workers re-run this binary's `serve` subcommand; pass the
+    // per-worker knobs through verbatim.
+    let mut worker_command = vec![exe.to_string_lossy().into_owned(), "serve".to_owned()];
+    let worker_threads = try_flag!(args.usize_flag("worker-threads", 2));
+    let queue_depth = try_flag!(args.usize_flag("queue-depth", 16));
+    let cache_capacity = try_flag!(args.usize_flag("cache-capacity", 4));
+    let cache_cap = try_flag!(args.usize_flag("cache-cap", 32));
+    for (flag, value) in [
+        ("--workers", worker_threads),
+        ("--queue-depth", queue_depth),
+        ("--cache-capacity", cache_capacity),
+        ("--cache-cap", cache_cap),
+    ] {
+        worker_command.push(flag.to_owned());
+        worker_command.push(value.to_string());
+    }
+    if args.has("debug-endpoints") {
+        worker_command.push("--debug-endpoints".to_owned());
+    }
+    let cfg = scap_cluster::ClusterConfig {
+        addr,
+        workers: try_flag!(args.usize_flag("workers", 2)),
+        worker_command,
+        hedge: std::time::Duration::from_millis(try_flag!(args.usize_flag("hedge-ms", 1000)) as u64),
+        probe_interval: std::time::Duration::from_millis(
+            try_flag!(args.usize_flag("probe-ms", 500)) as u64,
+        ),
+        ..scap_cluster::ClusterConfig::default()
+    };
+    let coordinator = match scap_cluster::Coordinator::launch(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot launch cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Stable lines check.sh and tooling parse: the coordinator address
+    // first, then one line per worker with pid and address.
+    println!(
+        "scap cluster listening on http://{} ({} workers)",
+        coordinator.local_addr(),
+        coordinator.worker_infos().len()
+    );
+    for w in coordinator.worker_infos() {
+        println!(
+            "scap cluster worker {} pid {} http://{}",
+            w.index,
+            w.pid,
+            w.addr
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        );
+    }
+    match coordinator.run() {
+        Ok(snapshot) => {
+            println!("scap cluster drained; final metrics:");
+            print!("{}", scap_obs::render(&snapshot));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cluster failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,167 @@
+//! Consistent-hash ring over worker slots.
+//!
+//! Each worker slot contributes [`Ring::replicas`] virtual nodes —
+//! points on a 64-bit circle at `fnv1a64("w{slot}:{replica}")`. A
+//! request key owns the first point clockwise from its own hash; the
+//! slot behind that point is the key's **owner**. Two properties make
+//! this the right router for a shard-per-worker cache tier:
+//!
+//! * **balance** — with enough virtual nodes the keyspace splits close
+//!   to evenly (the property tests pin ≤ 2× the mean);
+//! * **minimal disruption** — growing the fleet from N to N+1 slots
+//!   moves only the keys the new slot now owns; every other key keeps
+//!   its worker, and therefore its warm cache.
+//!
+//! [`Ring::order`] extends ownership to a full failover sequence: the
+//! distinct slots in ring-walk order starting at the owner. The
+//! coordinator forwards to the first *live* entry, so a dead worker's
+//! hash range drains onto its successors without renumbering anything.
+
+/// Virtual nodes per slot used across the crate (coordinator, bench,
+/// tests) — routing only agrees between processes when this matches.
+pub const DEFAULT_REPLICAS: usize = 32;
+
+/// 64-bit FNV-1a over `bytes` — the crate's one hash function, chosen
+/// for determinism across processes (no per-process seeding) and
+/// std-only implementability.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Consistent-hash ring over `slots` worker slots (see module docs).
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// `(point, slot)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    slots: usize,
+    replicas: usize,
+}
+
+impl Ring {
+    /// A ring of `slots` slots (clamped to ≥ 1), each contributing
+    /// `replicas` virtual nodes (clamped to ≥ 1).
+    pub fn new(slots: usize, replicas: usize) -> Self {
+        let slots = slots.max(1);
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(slots * replicas);
+        for slot in 0..slots {
+            for r in 0..replicas {
+                points.push((fnv1a64(format!("w{slot}:{r}").as_bytes()), slot));
+            }
+        }
+        // Sort by point; break (astronomically unlikely) hash ties by
+        // slot index so the ring is identical in every process.
+        points.sort_unstable();
+        Ring {
+            points,
+            slots,
+            replicas,
+        }
+    }
+
+    /// Number of slots on the ring.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Virtual nodes per slot.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The routing key of a `(scale, seed)` design shard: every
+    /// endpoint that touches the same built design hashes to the same
+    /// worker, so its design + response caches stay hot.
+    pub fn shard_key(scale: f64, seed: u64) -> u64 {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&scale.to_bits().to_le_bytes());
+        bytes[8..].copy_from_slice(&seed.to_le_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// Index into `points` of the first point at or clockwise of `key`.
+    fn successor(&self, key: u64) -> usize {
+        match self.points.binary_search(&(key, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap
+            Err(i) => i,
+        }
+    }
+
+    /// The slot owning `key`.
+    pub fn owner(&self, key: u64) -> usize {
+        self.points[self.successor(key)].1
+    }
+
+    /// Every slot in ring-walk order starting at the owner of `key` —
+    /// the failover sequence. Always a permutation of `0..slots`.
+    pub fn order(&self, key: u64) -> Vec<usize> {
+        let start = self.successor(key);
+        let mut seen = vec![false; self.slots];
+        let mut out = Vec::with_capacity(self.slots);
+        for step in 0..self.points.len() {
+            let slot = self.points[(start + step) % self.points.len()].1;
+            if !seen[slot] {
+                seen[slot] = true;
+                out.push(slot);
+                if out.len() == self.slots {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn owner_heads_the_order_and_order_is_a_permutation() {
+        let ring = Ring::new(4, DEFAULT_REPLICAS);
+        for raw in 0..1000u64 {
+            let key = fnv1a64(&raw.to_le_bytes());
+            let order = ring.order(key);
+            assert_eq!(order[0], ring.owner(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn single_slot_ring_owns_everything() {
+        let ring = Ring::new(1, DEFAULT_REPLICAS);
+        for raw in 0..100u64 {
+            assert_eq!(ring.owner(fnv1a64(&raw.to_le_bytes())), 0);
+            assert_eq!(ring.order(raw), vec![0]);
+        }
+    }
+
+    #[test]
+    fn shard_key_separates_scale_and_seed() {
+        // Distinct (scale, seed) tuples must not trivially collide.
+        let a = Ring::shard_key(0.01, 1);
+        let b = Ring::shard_key(0.01, 2);
+        let c = Ring::shard_key(0.02, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // …and the key is a pure function of its inputs.
+        assert_eq!(a, Ring::shard_key(0.01, 1));
+    }
+}

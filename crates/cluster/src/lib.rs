@@ -1,0 +1,47 @@
+//! Sharded multi-process serving tier for the SCAP pipeline.
+//!
+//! A single `scap serve` process holds one design cache and one
+//! response cache; its capacity for *distinct* `(scale, seed)` shards
+//! is whatever fits in those LRUs. This crate scales that horizontally
+//! the way the serving layer's determinism contract allows: a
+//! **coordinator** process spawns N `scap serve` **workers** on
+//! ephemeral ports and routes every request by consistent hashing on
+//! the request's `(scale, seed)` — so each worker owns a stable shard
+//! of the keyspace and its caches stay warm for exactly that shard.
+//!
+//! ```text
+//!              ┌────────────── scap cluster ──────────────┐
+//!   client ──► │ coordinator: route ▸ hedge ▸ failover    │
+//!              │   │ consistent-hash ring on (scale,seed) │
+//!              │   ├──► worker 0  (scap serve, own caches)│
+//!              │   ├──► worker 1                          │
+//!              │   └──► worker N-1                        │
+//!              └──────── /metrics aggregation ────────────┘
+//! ```
+//!
+//! * [`hash::Ring`] — the consistent-hash ring: balanced, and minimally
+//!   disruptive when the fleet grows (property-tested).
+//! * [`worker::Fleet`] — process supervision: spawn, probe `/healthz`,
+//!   mark dead after consecutive failures, respawn with exponential
+//!   backoff, drain on shutdown.
+//! * [`coordinator::Coordinator`] — the thin std-only HTTP proxy:
+//!   routing with handoff to ring successors when the owner is dead,
+//!   request hedging past a latency threshold (handlers are pure, so
+//!   duplicates are safe), failover on transport errors and
+//!   gateway-shaped statuses, fleet-wide `/metrics` aggregation.
+//!
+//! Everything observable lives in the `cluster.*` metric family —
+//! routing (`cluster.route.*`), hedging (`cluster.hedge.*`), failover
+//! (`cluster.failover.*`), supervision (`cluster.probe.*`,
+//! `cluster.worker.*`) — documented in the `scap-obs` name registry.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coordinator;
+pub mod hash;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, ClusterController, ClusterShutdown, Coordinator};
+pub use hash::{Ring, DEFAULT_REPLICAS};
+pub use worker::{Fleet, WorkerInfo};

@@ -252,6 +252,52 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Exponential backoff schedule: each [`Backoff::advance`] returns the
+/// current delay and doubles it up to a cap. Used wherever a retry loop
+/// must not hammer a failing resource — the cluster supervisor's worker
+/// respawn is the canonical caller. Deterministic (no jitter): retry
+/// *timing* never feeds into any computed result, and reproducible
+/// schedules are easier to assert on.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    base: std::time::Duration,
+    cap: std::time::Duration,
+    cur: std::time::Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `cap` (both
+    /// clamped to at least 1 ms so the schedule always advances).
+    pub fn new(base: std::time::Duration, cap: std::time::Duration) -> Self {
+        let floor = std::time::Duration::from_millis(1);
+        let base = base.max(floor);
+        Backoff {
+            base,
+            cap: cap.max(base),
+            cur: base,
+        }
+    }
+
+    /// The delay to wait now; doubles the next one (saturating at the
+    /// cap).
+    pub fn advance(&mut self) -> std::time::Duration {
+        let d = self.cur;
+        self.cur = self.cur.saturating_mul(2).min(self.cap);
+        d
+    }
+
+    /// The delay [`Backoff::advance`] would return, without advancing.
+    pub fn peek(&self) -> std::time::Duration {
+        self.cur
+    }
+
+    /// Resets the schedule to its base delay — call after the resource
+    /// has proven healthy again.
+    pub fn reset(&mut self) {
+        self.cur = self.base;
+    }
+}
+
 /// Runs two independent jobs on the default executor.
 pub fn join2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -348,6 +394,23 @@ mod tests {
             }
         }
         assert!(shard_ranges(10, 0).is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap_and_resets() {
+        use std::time::Duration;
+        let mut b = Backoff::new(Duration::from_millis(250), Duration::from_secs(2));
+        assert_eq!(b.advance(), Duration::from_millis(250));
+        assert_eq!(b.advance(), Duration::from_millis(500));
+        assert_eq!(b.advance(), Duration::from_millis(1000));
+        assert_eq!(b.advance(), Duration::from_millis(2000));
+        assert_eq!(b.advance(), Duration::from_millis(2000), "saturates at cap");
+        b.reset();
+        assert_eq!(b.peek(), Duration::from_millis(250));
+        // Degenerate inputs clamp instead of stalling at zero.
+        let mut z = Backoff::new(Duration::ZERO, Duration::ZERO);
+        assert_eq!(z.advance(), Duration::from_millis(1));
+        assert_eq!(z.advance(), Duration::from_millis(1));
     }
 
     #[test]

@@ -14,7 +14,17 @@
 //! meant for humans or for committed artifacts go through [`pretty`],
 //! a whitespace-only re-indenter that never re-orders or re-parses
 //! values.
+//!
+//! The module also carries the matching strict *reader* ([`parse`] into
+//! [`Value`]): the cluster coordinator aggregates worker `/metrics`
+//! bodies, and the integration tests validate response documents,
+//! without reaching for an external JSON dependency. The reader accepts
+//! exactly the strict-JSON dialect the writers emit (no comments, no
+//! trailing commas, no `NaN`/`inf` tokens) and keys numbers as `f64` —
+//! exact for the `u64` counters the registry produces up to 2^53,
+//! far beyond any counter this workspace increments.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Appends `s` to `out`, escaped for the inside of a JSON string
@@ -263,6 +273,330 @@ pub fn pretty(json: &str) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Strict reader
+// ---------------------------------------------------------------------
+
+/// One parsed JSON value. Objects preserve no duplicate keys (last
+/// write wins, as in every mainstream parser) and iterate in sorted
+/// order (`BTreeMap`) — deterministic, like everything else here.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member of an object by key (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The object map itself, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one strict-JSON document (exactly one top-level value,
+/// nothing but whitespace after it).
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_owned());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte at {}", self.pos));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so this is
+                    // always a valid boundary walk).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_owned())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (pos is on the `u`), handling
+    /// surrogate pairs. Leaves pos after the final consumed digit + 1.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        fn hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+            let s = bytes
+                .get(at..at + 4)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or_else(|| format!("bad \\u escape at byte {at}"))?;
+            u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape at byte {at}"))
+        }
+        let hi = hex4(self.bytes, self.pos + 1)?;
+        self.pos += 5;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.bytes.get(self.pos) != Some(&b'\\')
+                || self.bytes.get(self.pos + 1) != Some(&b'u')
+            {
+                return Err("lone high surrogate".to_owned());
+            }
+            let lo = hex4(self.bytes, self.pos + 2)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err("invalid low surrogate".to_owned());
+            }
+            self.pos += 6;
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| "invalid code point".to_owned())
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err("lone low surrogate".to_owned())
+        } else {
+            char::from_u32(hi).ok_or_else(|| "invalid code point".to_owned())
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(format!("expected digits at byte {}", self.pos));
+        }
+        // Strict JSON: no leading zeros like 042.
+        if self.pos - digits_from > 1 && self.bytes[digits_from] == b'0' {
+            return Err(format!("leading zero at byte {digits_from}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(format!("expected fraction digits at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(format!("expected exponent digits at byte {}", self.pos));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{text}'"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +673,58 @@ mod tests {
         assert!(p.contains("{\n"));
         // Commas inside strings did not break lines.
         assert!(p.contains("x,y {z}"));
+    }
+
+    #[test]
+    fn parses_what_the_builders_emit() {
+        let mut inner = Arr::new();
+        inner.u64(1).str("two").f64(f64::NAN).f64(-2.5e3);
+        let mut obj = Obj::new();
+        obj.str("name", "a\"b\n")
+            .u64("count", 3)
+            .bool("ok", true)
+            .raw("items", &inner.finish());
+        let doc = obj.finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b\n"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let items = v.get("items").unwrap().as_arr().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_str(), Some("two"));
+        assert_eq!(items[2], Value::Null);
+        assert_eq!(items[3].as_f64(), Some(-2500.0));
+        // pretty() output parses to the same document.
+        assert_eq!(parse(&pretty(&doc)).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogate_pairs() {
+        let v = parse(r#""A\t😀\\""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\t\u{1F600}\\"));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_non_strict_documents() {
+        assert!(parse("{,}").is_err());
+        assert!(parse("[1,2,]").is_err(), "trailing comma");
+        assert!(parse("{\"a\":1} garbage").is_err());
+        assert!(parse("042").is_err(), "leading zero");
+        assert!(parse("NaN").is_err());
+        assert!(parse("'single'").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err(), "bounded nesting");
+    }
+
+    #[test]
+    fn numbers_roundtrip_counter_magnitudes() {
+        let v = parse("9007199254740992").unwrap(); // 2^53
+        assert_eq!(v.as_u64(), Some(9007199254740992));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
     }
 }

@@ -87,6 +87,18 @@
 //!   launch-to-capture timing screen and those exceeding the cycle.
 //! * `compact.*`, `screen.*`, `flow.*`, `ablation.*`, `lint.*`,
 //!   `serve.*` — per-layer event counts named after what they count.
+//! * `cluster.*` — the sharded serving tier (`scap-cluster`).
+//!   `cluster.route.requests` / `.handoffs` count proxied requests and
+//!   those whose hash-primary was dead (served by a live successor);
+//!   `cluster.hedge.fired` / `.wins` count hedged duplicates launched
+//!   after the latency threshold and the ones that answered first;
+//!   `cluster.failover.reroutes` / `.shed_retries` / `.recovered`
+//!   count transport-error reroutes, worker 5xx retries and requests a
+//!   non-primary ultimately answered; `cluster.probe.ok` / `.failures`
+//!   / `.marked_dead` / `.recovered` track the health prober, and
+//!   `cluster.worker.spawned` / `.exited` / `.restarts` the process
+//!   supervisor. `cluster.workers.total` / `.alive` are gauges the
+//!   aggregated `/metrics` snapshot echoes.
 
 pub mod json;
 

@@ -88,6 +88,12 @@ impl CommonParams {
             seed: args.seed()?,
         })
     }
+
+    /// Canonical key fragment: the exact scale bits plus the seed —
+    /// the same identity the design cache and the cluster router use.
+    fn key_part(&self) -> String {
+        format!("{:016x}|{}", self.scale.to_bits(), self.seed)
+    }
 }
 
 fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
@@ -126,6 +132,13 @@ impl DesignParams {
         Ok(DesignParams {
             common: CommonParams::parse(args)?,
         })
+    }
+
+    /// Canonical response-cache key: every parameter the handler's
+    /// output depends on, nothing else (`deadline_ms` is operational,
+    /// not semantic, so it never keys).
+    pub fn cache_key(&self) -> String {
+        format!("design|{}", self.common.key_part())
     }
 }
 
@@ -181,6 +194,12 @@ impl LintParams {
         Ok(LintParams {
             common: CommonParams::parse(args)?,
         })
+    }
+
+    /// Canonical response-cache key (see
+    /// [`DesignParams::cache_key`]).
+    pub fn cache_key(&self) -> String {
+        format!("lint|{}", self.common.key_part())
     }
 }
 
@@ -305,6 +324,18 @@ impl StaParams {
             paths: args.usize_flag("paths", 3)?,
         })
     }
+
+    /// Canonical response-cache key (see
+    /// [`DesignParams::cache_key`]).
+    pub fn cache_key(&self) -> String {
+        format!(
+            "sta|{}|{}|{:016x}|{}",
+            self.common.key_part(),
+            self.derate,
+            self.k.to_bits(),
+            self.paths
+        )
+    }
 }
 
 fn paths_json(paths: &[scap::timing::PathReport], netlist: &scap_netlist::Netlist) -> String {
@@ -425,6 +456,21 @@ impl ProfileParams {
             block: args.get("block").unwrap_or("B5").to_owned(),
         })
     }
+
+    /// Canonical response-cache key (see [`DesignParams::cache_key`]).
+    /// The fill keys on its *effective* policy: an explicit
+    /// `fill=fill-0` and the noise-aware flow's default are the same
+    /// computation, so they share an entry.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "profile|{}|{}|{}|{}|{}",
+            self.common.key_part(),
+            self.flow.label(),
+            fill_label(effective_fill(self.flow, self.fill)),
+            self.engine.label(),
+            self.block
+        )
+    }
 }
 
 fn run_flow(
@@ -526,6 +572,25 @@ impl ScheduleParams {
             engine: parse_engine(args.get("engine"))?,
             budget_mw,
         })
+    }
+
+    /// Canonical response-cache key (see [`DesignParams::cache_key`]).
+    /// An absent budget keys as `-`: the default is derived from the
+    /// flow's tests, not a fixed number, so it must not collide with
+    /// any explicit value.
+    pub fn cache_key(&self) -> String {
+        let budget = match self.budget_mw {
+            Some(b) => format!("{:016x}", b.to_bits()),
+            None => "-".to_owned(),
+        };
+        format!(
+            "schedule|{}|{}|{}|{}|{}",
+            self.common.key_part(),
+            self.flow.label(),
+            fill_label(effective_fill(self.flow, self.fill)),
+            self.engine.label(),
+            budget
+        )
     }
 }
 

@@ -200,6 +200,7 @@ pub fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -237,7 +238,7 @@ mod tests {
 
     #[test]
     fn status_text_covers_emitted_codes() {
-        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
+        for code in [200, 400, 404, 405, 413, 500, 502, 503, 504] {
             assert_ne!(status_text(code), "Unknown");
         }
     }

@@ -23,6 +23,12 @@
 //!   [`scap::CaseStudy`] instances keyed by `(scale, seed)`, with
 //!   single-flight deduplication so N concurrent cold requests trigger
 //!   exactly one build;
+//! * a **response cache** ([`cache::ResponseCache`]) — LRU over
+//!   rendered 200 bodies keyed by the full canonical parameter tuple
+//!   (every analysis handler is pure, so repeats are answered from
+//!   bytes); capacity is the `--cache-cap` flag, and the
+//!   `serve.respcache.*` counters make shard-cache pressure visible to
+//!   the cluster coordinator;
 //! * a **bounded job pool** ([`pool::JobPool`], layered on
 //!   [`scap_exec::BoundedQueue`]) — fixed workers, fixed queue depth,
 //!   per-request deadlines; a full queue answers `503` +
@@ -47,7 +53,7 @@ pub mod pool;
 
 pub use handlers::{lint_report, lint_report_with};
 
-use cache::DesignCache;
+use cache::{DesignCache, ResponseCache};
 use http::{read_request, ReadError, Request, Response};
 use params::Args;
 use pool::JobPool;
@@ -67,6 +73,10 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Designs the LRU cache keeps resident.
     pub cache_capacity: usize,
+    /// Rendered 200 responses the LRU response cache keeps resident
+    /// (the `--cache-cap` flag); every analysis endpoint is pure, so a
+    /// repeat request is answered from bytes.
+    pub response_cache_capacity: usize,
     /// Default per-request deadline (override per request with
     /// `deadline_ms`).
     pub default_deadline: Duration,
@@ -81,6 +91,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_depth: 16,
             cache_capacity: 4,
+            response_cache_capacity: 32,
             default_deadline: Duration::from_secs(60),
             debug_endpoints: false,
         }
@@ -114,6 +125,7 @@ impl ShutdownHandle {
 struct ServerCtx {
     cfg: ServeConfig,
     cache: Arc<DesignCache>,
+    respcache: Arc<ResponseCache>,
     pool: JobPool,
     shutdown: ShutdownHandle,
     started: Instant,
@@ -144,6 +156,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let ctx = Arc::new(ServerCtx {
             cache: Arc::new(DesignCache::new(cfg.cache_capacity)),
+            respcache: Arc::new(ResponseCache::new(cfg.response_cache_capacity)),
             pool: JobPool::new(cfg.workers, cfg.queue_depth),
             shutdown: ShutdownHandle {
                 flag: Arc::new(AtomicBool::new(false)),
@@ -334,7 +347,8 @@ fn healthz(ctx: &ServerCtx) -> Response {
     obj.str("status", "ok")
         .u64("uptime_ms", ctx.started.elapsed().as_millis() as u64)
         .u64("queue_depth", ctx.pool.queue_len() as u64)
-        .u64("cached_designs", ctx.cache.len() as u64);
+        .u64("cached_designs", ctx.cache.len() as u64)
+        .u64("cached_responses", ctx.respcache.len() as u64);
     Response::json(200, obj.finish())
 }
 
@@ -348,25 +362,44 @@ fn pooled(ctx: &ServerCtx, route: Route, args: &Args) -> Response {
         Err(msg) => return Response::error(400, &msg),
     };
     let cache = Arc::clone(&ctx.cache);
+    let rc = Arc::clone(&ctx.respcache);
+    // Analysis handlers are pure functions of their parameters, so each
+    // runs behind the response cache under its canonical key; `/v1/sleep`
+    // is the one pooled endpoint with a side effect (time) and skips it.
     let job: Box<dyn FnOnce() -> Response + Send> = match route {
         Route::Design => match handlers::DesignParams::parse(args) {
-            Ok(p) => Box::new(move || handlers::design(&cache, &p)),
+            Ok(p) => {
+                let key = p.cache_key();
+                Box::new(move || rc.get_or_respond(key, || handlers::design(&cache, &p)))
+            }
             Err(msg) => return Response::error(400, &msg),
         },
         Route::Lint => match handlers::LintParams::parse(args) {
-            Ok(p) => Box::new(move || handlers::lint(&cache, &p)),
+            Ok(p) => {
+                let key = p.cache_key();
+                Box::new(move || rc.get_or_respond(key, || handlers::lint(&cache, &p)))
+            }
             Err(msg) => return Response::error(400, &msg),
         },
         Route::Sta => match handlers::StaParams::parse(args) {
-            Ok(p) => Box::new(move || handlers::sta(&cache, &p)),
+            Ok(p) => {
+                let key = p.cache_key();
+                Box::new(move || rc.get_or_respond(key, || handlers::sta(&cache, &p)))
+            }
             Err(msg) => return Response::error(400, &msg),
         },
         Route::Profile => match handlers::ProfileParams::parse(args) {
-            Ok(p) => Box::new(move || handlers::profile(&cache, &p)),
+            Ok(p) => {
+                let key = p.cache_key();
+                Box::new(move || rc.get_or_respond(key, || handlers::profile(&cache, &p)))
+            }
             Err(msg) => return Response::error(400, &msg),
         },
         Route::Schedule => match handlers::ScheduleParams::parse(args) {
-            Ok(p) => Box::new(move || handlers::schedule(&cache, &p)),
+            Ok(p) => {
+                let key = p.cache_key();
+                Box::new(move || rc.get_or_respond(key, || handlers::schedule(&cache, &p)))
+            }
             Err(msg) => return Response::error(400, &msg),
         },
         Route::Sleep => match handlers::SleepParams::parse(args) {

@@ -55,8 +55,29 @@ pub fn request(
     path: &str,
     body: &str,
 ) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    request_with_timeouts(
+        addr,
+        method,
+        path,
+        body,
+        Duration::from_secs(5),
+        Duration::from_secs(120),
+    )
+}
+
+/// [`request`] with explicit connect/read timeouts — the cluster
+/// coordinator's health prober needs much shorter ones than a client
+/// willing to wait out a heavy analysis.
+pub fn request_with_timeouts(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    stream.set_read_timeout(Some(read_timeout))?;
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
@@ -87,7 +108,7 @@ fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
 }
 
 /// Outcome of one [`burst`]: every response (in completion order) plus
-/// transport-level failures.
+/// transport-level failures and per-exchange latencies.
 #[derive(Debug, Default)]
 pub struct BurstReport {
     /// Status code of every completed exchange.
@@ -96,12 +117,35 @@ pub struct BurstReport {
     pub ok_bodies: Vec<Vec<u8>>,
     /// Connections that failed at the transport level.
     pub transport_errors: usize,
+    /// Wall-clock of every completed exchange, milliseconds, in the
+    /// same (completion) order as [`BurstReport::statuses`].
+    pub latencies_ms: Vec<f64>,
 }
 
 impl BurstReport {
     /// How many exchanges returned this status.
     pub fn count(&self, status: u16) -> usize {
         self.statuses.iter().filter(|&&s| s == status).count()
+    }
+
+    /// Latency at percentile `p` in `[0, 100]` (nearest-rank over the
+    /// completed exchanges); `None` when nothing completed.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// `(status, count)` pairs, ascending by status.
+    pub fn status_breakdown(&self) -> Vec<(u16, usize)> {
+        let mut codes: Vec<u16> = self.statuses.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        codes.into_iter().map(|c| (c, self.count(c))).collect()
     }
 }
 
@@ -117,13 +161,45 @@ pub fn burst(
     concurrency: usize,
     per_thread: usize,
 ) -> BurstReport {
+    burst_targets(
+        addr,
+        method,
+        &[(path.to_owned(), body.to_owned())],
+        concurrency,
+        per_thread,
+    )
+}
+
+/// [`burst`] over a rotation of `(path, body)` targets: thread `t`
+/// starts at target `t` and steps one target per exchange, so a round
+/// of `concurrency ≥ targets.len()` threads has every target in flight
+/// at once, and total coverage is balanced whenever
+/// `concurrency × per_thread` is a multiple of `targets.len()`. This is
+/// the cluster benchmark's access pattern: with K shard keys rotating
+/// through, a worker set whose aggregate cache holds all K keys serves
+/// at wire speed while a smaller one thrashes.
+pub fn burst_targets(
+    addr: SocketAddr,
+    method: &str,
+    targets: &[(String, String)],
+    concurrency: usize,
+    per_thread: usize,
+) -> BurstReport {
+    assert!(
+        !targets.is_empty(),
+        "burst_targets needs at least one target"
+    );
     let handles: Vec<_> = (0..concurrency.max(1))
-        .map(|_| {
-            let (method, path, body) = (method.to_owned(), path.to_owned(), body.to_owned());
+        .map(|t| {
+            let method = method.to_owned();
+            let targets = targets.to_vec();
             std::thread::spawn(move || {
                 let mut outcomes = Vec::new();
-                for _ in 0..per_thread.max(1) {
-                    outcomes.push(request(addr, &method, &path, &body));
+                for j in 0..per_thread.max(1) {
+                    let (path, body) = &targets[(t + j) % targets.len()];
+                    let start = std::time::Instant::now();
+                    let result = request(addr, &method, path, body);
+                    outcomes.push((result, start.elapsed()));
                 }
                 outcomes
             })
@@ -131,13 +207,14 @@ pub fn burst(
         .collect();
     let mut report = BurstReport::default();
     for h in handles {
-        for outcome in h.join().expect("loadgen thread panicked") {
+        for (outcome, elapsed) in h.join().expect("loadgen thread panicked") {
             match outcome {
                 Ok(resp) => {
                     if resp.status == 200 {
                         report.ok_bodies.push(resp.body.clone());
                     }
                     report.statuses.push(resp.status);
+                    report.latencies_ms.push(elapsed.as_secs_f64() * 1e3);
                 }
                 Err(_) => report.transport_errors += 1,
             }
@@ -164,5 +241,35 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_none());
         assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let report = BurstReport {
+            statuses: vec![200; 10],
+            ok_bodies: Vec::new(),
+            transport_errors: 0,
+            latencies_ms: vec![10.0, 2.0, 7.0, 1.0, 9.0, 3.0, 8.0, 4.0, 6.0, 5.0],
+        };
+        assert_eq!(report.percentile_ms(50.0), Some(5.0));
+        assert_eq!(report.percentile_ms(95.0), Some(10.0));
+        assert_eq!(report.percentile_ms(99.0), Some(10.0));
+        assert_eq!(report.percentile_ms(0.0), Some(1.0));
+        assert_eq!(report.percentile_ms(100.0), Some(10.0));
+        assert_eq!(BurstReport::default().percentile_ms(50.0), None);
+    }
+
+    #[test]
+    fn status_breakdown_sorts_and_counts() {
+        let report = BurstReport {
+            statuses: vec![503, 200, 200, 400, 200],
+            ok_bodies: Vec::new(),
+            transport_errors: 1,
+            latencies_ms: vec![1.0; 5],
+        };
+        assert_eq!(
+            report.status_breakdown(),
+            vec![(200, 3), (400, 1), (503, 1)]
+        );
     }
 }

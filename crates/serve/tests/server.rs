@@ -69,15 +69,23 @@ fn concurrent_identical_requests_build_once_and_agree_byte_for_byte() {
         1,
         "single-flight: 8 cold requests, exactly 1 build"
     );
+    // Identical requests dedupe at the *response* cache: one miss runs
+    // the handler (which misses the design cache once underneath); each
+    // of the other 7 resolves to exactly one response-cache hit — either
+    // directly or after waiting on the in-flight build. The wait counter
+    // is timing-dependent (one tick per condvar wakeup while the build
+    // is still in flight), so it is not pinned here.
+    assert_eq!(delta("serve.respcache.misses"), 1);
+    assert_eq!(
+        delta("serve.respcache.hits"),
+        7,
+        "the other 7 requests all resolve to response-cache hits"
+    );
     assert_eq!(delta("serve.cache.misses"), 1);
-    // Each of the other 7 requests resolves to exactly one cache hit —
-    // either directly or after waiting on the in-flight build. The wait
-    // counter is timing-dependent (one tick per condvar wakeup while
-    // the build is still in flight), so it is not pinned here.
     assert_eq!(
         delta("serve.cache.hits"),
-        7,
-        "the other 7 requests all resolve to cache hits"
+        0,
+        "only the one response-cache miss ever reached the design cache"
     );
 
     stop(&shutdown, join);

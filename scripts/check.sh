@@ -127,6 +127,63 @@ PY
     rm -f "$serve_log"
     echo "serve smoke passed: bursts answered, JSON strict, drained cleanly."
 
+    echo "== scap cluster smoke (2 workers, SIGKILL mid-burst, aggregated metrics, clean drain) =="
+    cluster_log=$(mktemp)
+    ./target/release/scap cluster --port 0 --workers 2 --probe-ms 2000 \
+        >"$cluster_log" 2>&1 &
+    cluster_pid=$!
+    trap 'kill "$cluster_pid" 2>/dev/null || true; rm -f "$cluster_log"' EXIT
+    cluster_addr=""
+    for _ in $(seq 1 100); do
+        cluster_addr=$(sed -n 's#^scap cluster listening on http://\([^ ]*\).*#\1#p' "$cluster_log")
+        [ -n "$cluster_addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$cluster_addr" ] || { echo "coordinator never printed its address" >&2; cat "$cluster_log" >&2; exit 1; }
+    mapfile -t worker_pids < <(sed -n 's#^scap cluster worker [0-9]* pid \([0-9]*\) .*#\1#p' "$cluster_log")
+    [ "${#worker_pids[@]}" -eq 2 ] || { echo "expected 2 worker pid lines" >&2; cat "$cluster_log" >&2; exit 1; }
+    # Warm every shard, then SIGKILL one worker while a burst is in
+    # flight: the coordinator must fail over and every client request
+    # must still answer 200 (that's what --require-200 enforces).
+    # 16 seeds so the consistent-hash ring provably spreads the key set
+    # over both workers — killing either one cuts into the burst.
+    ./target/release/scap-loadgen --addr "$cluster_addr" --method POST --path /v1/profile \
+        --body "scale=0.004" --seeds 16 --concurrency 16 --requests 1 --require-200
+    ./target/release/scap-loadgen --addr "$cluster_addr" --method POST --path /v1/profile \
+        --body "scale=0.004" --seeds 16 --concurrency 4 --requests 200 --require-200 &
+    burst_pid=$!
+    sleep 0.15
+    kill -9 "${worker_pids[0]}"
+    wait "$burst_pid" || { echo "burst through the worker kill lost requests" >&2; cat "$cluster_log" >&2; exit 1; }
+    # One more full rotation over every shard key: even if the big
+    # burst finished before the kill landed, these requests must hit
+    # the dead worker's range and fail over — the reroute counters
+    # below are asserted deterministically, not on a race.
+    ./target/release/scap-loadgen --addr "$cluster_addr" --method POST --path /v1/profile \
+        --body "scale=0.004" --seeds 16 --concurrency 16 --requests 1 --require-200
+    # The aggregated /metrics must be strict JSON, carry the fleet
+    # object, and prove the failover path actually ran.
+    python3 - "$cluster_addr" <<'PY'
+import json, sys, urllib.request
+addr = sys.argv[1]
+with urllib.request.urlopen(f"http://{addr}/metrics") as r:
+    doc = json.loads(r.read())
+counters = doc["counters"]
+assert counters["cluster.route.requests"] > 0, "no routed requests"
+assert counters["cluster.failover.reroutes"] > 0, "the killed worker was never failed over"
+assert counters["serve.requests"] > 0, "worker counters missing from the aggregate"
+cluster = doc["cluster"]
+assert cluster["workers_total"] == 2, cluster
+assert len(cluster["per_worker"]) == 2, cluster
+req = urllib.request.Request(f"http://{addr}/v1/shutdown", data=b"", method="POST")
+with urllib.request.urlopen(req) as r:
+    assert json.loads(r.read())["shutting_down"] is True
+PY
+    wait "$cluster_pid"   # fleet drain must exit 0
+    trap - EXIT
+    rm -f "$cluster_log"
+    echo "cluster smoke passed: failover covered the kill, metrics aggregated, drained cleanly."
+
     echo "== BENCH_evaluation.json is strict JSON =="
     if [ -f BENCH_evaluation.json ]; then
         python3 - <<'PY'
@@ -140,8 +197,14 @@ totals = doc["totals"]
 for c in ("sat.solves", "sat.conflicts", "atpg.reclassified_untestable",
           "sta.runs", "sta.derated_runs", "sta.screen.patterns", "sta.screen.invalidated"):
     assert totals.get(c, 0) > 0, f"expected {c} > 0 in totals"
+by_name = {s["name"]: s for s in doc["stages"]}
+rps = {w: by_name[f"cluster_profile_{w}w"]["requests_per_sec"] for w in (1, 2, 4)}
+assert rps[2] / rps[1] >= 1.7, f"1->2 worker scaling below 1.7x: {rps}"
+assert rps[4] / rps[1] >= 3.0, f"1->4 worker scaling below 3.0x: {rps}"
+print(f"cluster scaling: 1w {rps[1]:.1f} -> 2w {rps[2]:.1f} ({rps[2]/rps[1]:.1f}x) "
+      f"-> 4w {rps[4]:.1f} ({rps[4]/rps[1]:.1f}x) req/s")
 PY
-        echo "BENCH_evaluation.json parses; fault-sim, SAT and STA counters carried."
+        echo "BENCH_evaluation.json parses; fault-sim, SAT, STA and cluster-scaling numbers carried."
     else
         echo "BENCH_evaluation.json not present; skipping."
     fi
